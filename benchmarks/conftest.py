@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+The Figure-2 dataset (all six kernels, both variants) is expensive to
+simulate, so it is computed once per session and shared by the
+fig2a/fig2b/fig2c benchmark modules.
+"""
+
+import pytest
+
+from repro.eval import fig2
+
+#: Problem size for the shared Figure-2 dataset.  Large enough for
+#: steady-state behaviour, small enough for CI.
+FIG2_N = 2048
+
+
+@pytest.fixture(scope="session")
+def fig2_data():
+    return fig2.generate(n=FIG2_N)
+
+
+def kernel_row(data, name):
+    for row in data.rows:
+        if row.name == name:
+            return row
+    raise KeyError(name)

@@ -1,0 +1,101 @@
+"""Figure 2c benchmark: speedup and energy improvement.
+
+The headline results: paper geomean speedup 1.47x (peak 2.05x on exp)
+and geomean energy improvement 1.37x (peak 1.93x on exp) — COPIFT wins
+on *both* axes for *every* kernel.
+"""
+
+import pytest
+
+from conftest import kernel_row
+from repro.eval import fig2
+from repro.kernels.registry import KERNELS
+
+#: Paper Fig. 2c values (speedup, energy improvement).
+PAPER = {
+    "pi_xoshiro128p": (1.15, 1.12),
+    "poly_xoshiro128p": (1.26, 1.22),
+    "pi_lcg": (1.32, 1.17),
+    "poly_lcg": (1.58, 1.34),
+    "logf": (1.62, 1.61),
+    "expf": (2.05, 1.93),
+}
+
+
+def test_render_fig2(benchmark, fig2_data):
+    text = benchmark(fig2.render, fig2_data)
+    assert "geomean speedup" in text
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_copift_always_faster(fig2_data, name):
+    assert kernel_row(fig2_data, name).measurement.speedup > 1.1
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_copift_always_more_energy_efficient(fig2_data, name):
+    """The paper's core claim: despite higher power, COPIFT wins on
+    energy for every kernel."""
+    assert kernel_row(fig2_data, name).measurement.energy_improvement \
+        > 1.1
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_speedup_tracks_paper(fig2_data, name):
+    measured = kernel_row(fig2_data, name).measurement.speedup
+    paper_speedup, _ = PAPER[name]
+    assert measured == pytest.approx(paper_speedup, abs=0.35)
+
+
+def test_geomean_speedup(fig2_data):
+    """Paper: 1.47x."""
+    assert fig2_data.geomean_speedup == pytest.approx(1.47, abs=0.12)
+
+
+def test_geomean_energy_improvement(fig2_data):
+    """Paper: 1.37x."""
+    assert fig2_data.geomean_energy_improvement \
+        == pytest.approx(1.37, abs=0.18)
+
+
+def test_expf_is_peak_on_both_axes(fig2_data):
+    speedups = {r.name: r.measurement.speedup for r in fig2_data.rows}
+    energy = {r.name: r.measurement.energy_improvement
+              for r in fig2_data.rows}
+    assert max(speedups, key=speedups.get) == "expf"
+    assert max(energy, key=energy.get) == "expf"
+
+
+def test_speedup_never_exceeds_expectation_much(fig2_data):
+    """S' is an optimistic bound; measurements sit at or below it."""
+    for row in fig2_data.rows:
+        assert row.measurement.speedup <= row.expected_speedup * 1.1, \
+            row.name
+
+
+def test_speedup_exceeds_two_possible(fig2_data):
+    """Paper: 'speedups greater than two are possible' thanks to SSR
+    load/store elision on top of dual-issue; ours approaches it on
+    expf."""
+    assert kernel_row(fig2_data, "expf").measurement.speedup > 1.6
+
+
+def test_fig2c_all_shape_checks(benchmark, fig2_data):
+    """Aggregate: validates the headline speedup/energy claims."""
+    def check_all():
+        for name in KERNELS:
+            test_copift_always_faster(fig2_data, name)
+            test_copift_always_more_energy_efficient(fig2_data, name)
+            test_speedup_tracks_paper(fig2_data, name)
+        test_geomean_speedup(fig2_data)
+        test_geomean_energy_improvement(fig2_data)
+        test_expf_is_peak_on_both_axes(fig2_data)
+        test_speedup_never_exceeds_expectation_much(fig2_data)
+        test_speedup_exceeds_two_possible(fig2_data)
+        return (fig2_data.geomean_speedup,
+                fig2_data.geomean_energy_improvement)
+
+    speedup, energy = benchmark.pedantic(check_all, rounds=1,
+                                         iterations=1)
+    benchmark.extra_info["geomean_speedup"] = speedup
+    benchmark.extra_info["geomean_energy_improvement"] = energy

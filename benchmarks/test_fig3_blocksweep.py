@@ -1,0 +1,77 @@
+"""Figure 3 benchmark: poly_lcg IPC across problem and block sizes.
+
+The paper's convergence claims, asserted on a scaled-down grid (the
+full grid is available via ``python -m repro.eval fig3 --full``):
+
+* IPC rises with problem size for every block size;
+* small blocks converge to their asymptote at smaller problem sizes;
+* the optimal block size does not shrink as the problem grows.
+"""
+
+import pytest
+
+from repro.eval import fig3
+
+BLOCKS = (32, 64, 128, 256)
+PROBLEMS = (768, 1536, 3072, 6144, 12288)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig3.generate(block_sizes=BLOCKS, problem_sizes=PROBLEMS)
+
+
+def test_regenerate_fig3_cell(benchmark):
+    """Times one cell of the Fig. 3 grid."""
+    data = benchmark.pedantic(
+        fig3.generate,
+        kwargs={"block_sizes": (64,), "problem_sizes": (1536,)},
+        rounds=1, iterations=1)
+    assert data.ipc[1536][64] > 1.0
+
+
+@pytest.mark.parametrize("block", BLOCKS)
+def test_ipc_rises_with_problem_size(sweep, block):
+    series = [sweep.ipc[n][block] for n in PROBLEMS]
+    assert series[-1] > series[0]
+    # Monotone within measurement noise.
+    for earlier, later in zip(series, series[1:]):
+        assert later >= earlier - 0.02
+
+
+def test_all_cells_dual_issue_at_scale(sweep):
+    for n in PROBLEMS[2:]:
+        for block in BLOCKS:
+            assert sweep.ipc[n][block] > 1.0, (n, block)
+
+
+def test_small_blocks_converge_earlier(sweep):
+    """The '>99.5%' annotation moves right with block size."""
+    converged = [sweep.converged_problem(block) for block in BLOCKS]
+    assert converged[0] <= converged[-1]
+
+
+def test_peak_block_never_shrinks(sweep):
+    """The 'peak' annotation shifts toward larger blocks."""
+    peaks = [sweep.peak_block(n) for n in PROBLEMS]
+    assert peaks[-1] >= peaks[0]
+
+
+def test_asymptote_matches_fig2_steady_state(sweep):
+    """'The IPC converges to the steady-state IPC presented in
+    Fig. 2a' — the largest-problem best-block IPC is the Fig. 2 value."""
+    best = max(sweep.ipc[PROBLEMS[-1]].values())
+    assert 1.15 <= best <= 1.8
+
+
+def test_fig3_all_shape_checks(benchmark, sweep):
+    """Aggregate: validates the Fig. 3 convergence claims."""
+    def check_all():
+        for block in BLOCKS:
+            test_ipc_rises_with_problem_size(sweep, block)
+        test_all_cells_dual_issue_at_scale(sweep)
+        test_small_blocks_converge_earlier(sweep)
+        test_peak_block_never_shrinks(sweep)
+        test_asymptote_matches_fig2_steady_state(sweep)
+
+    benchmark.pedantic(check_all, rounds=1, iterations=1)

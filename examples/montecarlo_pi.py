@@ -1,0 +1,81 @@
+"""Monte Carlo π estimation: the paper's integration workload.
+
+Estimates π by hit-and-miss sampling of the unit circle on the
+simulated core, comparing the two PRNGs the paper evaluates (64-bit LCG
+and xoshiro128+) in both baseline and COPIFT variants, and showing
+
+* the estimate converging with sample count (bit-exact against the
+  Python mirror of the RV32 PRNG code),
+* the throughput and energy gap between the variants,
+* the LCG's writeback-port stalls — the microarchitectural detail the
+  paper calls out in §III-A.
+
+Run with::
+
+    python examples/montecarlo_pi.py
+"""
+
+import math
+
+from repro.energy import EnergyModel
+from repro.kernels.common import MAIN_REGION
+from repro.kernels.montecarlo import (
+    LCG_SPEC,
+    PI_SPEC,
+    XOSHIRO_SPEC,
+    build_baseline,
+    build_copift,
+    reference_hits,
+)
+
+
+def convergence_table() -> None:
+    print("convergence of the pi estimate (xoshiro128+, exact hit "
+          "counts from the Python PRNG mirror):")
+    for n in (256, 1024, 4096, 16384):
+        hits = reference_hits(XOSHIRO_SPEC, PI_SPEC, n, seed=42)
+        estimate = 4.0 * hits / n
+        print(f"  N={n:>6}: pi ~ {estimate:.4f} "
+              f"(error {abs(estimate - math.pi):.4f})")
+    print()
+
+
+def simulate(prng, label: str, n: int = 4096) -> None:
+    model = EnergyModel()
+    base = build_baseline(prng, PI_SPEC, n)
+    cop = build_copift(prng, PI_SPEC, n, block=64)
+    base_result, _ = base.run()
+    cop_result, _ = cop.run()
+    base_region = base_result.region(MAIN_REGION)
+    cop_region = cop_result.region(MAIN_REGION)
+    base_power = model.report(base_region.counters, base_region.cycles)
+    cop_power = model.report(cop_region.counters, cop_region.cycles)
+
+    print(f"pi_{label}, N={n} samples (both variants verified "
+          f"against the exact hit count):")
+    print(f"  baseline: {base_region.cycles:>7} cycles "
+          f"(IPC {base_region.ipc:.2f}, "
+          f"{base_power.energy_uj:.2f} uJ, "
+          f"{base_region.counters.stall_wb_port} WB-port stalls)")
+    print(f"  COPIFT:   {cop_region.cycles:>7} cycles "
+          f"(IPC {cop_region.ipc:.2f}, "
+          f"{cop_power.energy_uj:.2f} uJ)")
+    speedup = base_region.cycles / cop_region.cycles
+    energy = base_power.total_energy_pj / cop_power.total_energy_pj
+    print(f"  -> speedup {speedup:.2f}x, energy improvement "
+          f"{energy:.2f}x")
+    print()
+
+
+def main() -> None:
+    convergence_table()
+    simulate(LCG_SPEC, "lcg")
+    simulate(XOSHIRO_SPEC, "xoshiro128p")
+    print("Note the LCG baseline's writeback-port stalls: the 64-bit "
+          "multiply chain collides with single-cycle ALU results on "
+          "the integer register file's single write port — the stall "
+          "source the paper identifies in §III-A.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Softmax acceleration: the paper's LLM motivation, end to end.
+
+The paper motivates the ``expf`` kernel as "the main component of
+softmax operations, which consume a considerable fraction of cycles in
+modern Large Language Models".  This example builds a full softmax over
+a row of attention logits:
+
+1. the exponential stage runs on the simulated core, baseline vs
+   COPIFT (this is where virtually all the cycles go);
+2. the outputs are drained from the simulated scratchpad and the
+   normalization is checked against a NumPy softmax oracle;
+3. the cycle/energy split demonstrates what COPIFT buys an
+   attention-layer inner loop.
+
+Run with::
+
+    python examples/softmax_llm.py
+"""
+
+import numpy as np
+
+from repro.energy import EnergyModel
+from repro.kernels.expf import build_baseline, build_copift
+from repro.kernels.common import MAIN_REGION
+
+SEQUENCE_LENGTH = 1024   # one attention row
+BLOCK = 64
+
+
+def run_exp_stage(variant: str):
+    if variant == "baseline":
+        instance = build_baseline(SEQUENCE_LENGTH, seed=3)
+    else:
+        instance = build_copift(SEQUENCE_LENGTH, block=BLOCK, seed=3)
+    result, machine = instance.run()
+    region = result.region(MAIN_REGION)
+    # The y array is the last 8*n-byte allocation before the table; we
+    # recover it through the kernel's own verifier inputs instead:
+    # reread x and recompute addresses via the allocator-free contract
+    # (x at the first allocation, y right after).
+    return instance, result, region, machine
+
+
+def softmax_reference(x: np.ndarray) -> np.ndarray:
+    e = np.exp(x)
+    return e / e.sum()
+
+
+def main() -> None:
+    model = EnergyModel()
+    rows = {}
+    outputs = {}
+    for variant in ("baseline", "copift"):
+        instance, result, region, machine = run_exp_stage(variant)
+        power = model.report(region.counters, region.cycles,
+                             dma_active=instance.dma_active,
+                             dma_bytes=instance.dma_bytes)
+        rows[variant] = (region, power)
+        # Drain exp(x) from the simulated scratchpad.
+        x = instance.notes["inputs"]
+        y = machine.memory.read_array(instance.notes["y_addr"],
+                                      np.float64, SEQUENCE_LENGTH)
+        denominator = y.sum()
+        outputs[variant] = y / denominator
+        np.testing.assert_allclose(outputs[variant],
+                                   softmax_reference(x), rtol=1e-7)
+
+    base_region, base_power = rows["baseline"]
+    cop_region, cop_power = rows["copift"]
+    n = SEQUENCE_LENGTH
+    print(f"softmax over a {n}-logit attention row "
+          f"(exp stage on the core)\n")
+    print(f"{'':>28} {'baseline':>10} {'COPIFT':>10}")
+    print(f"{'exp-stage cycles':>28} {base_region.cycles:>10} "
+          f"{cop_region.cycles:>10}")
+    print(f"{'cycles / logit':>28} {base_region.cycles / n:>10.1f} "
+          f"{cop_region.cycles / n:>10.1f}")
+    print(f"{'IPC':>28} {base_region.ipc:>10.2f} "
+          f"{cop_region.ipc:>10.2f}")
+    print(f"{'exp-stage energy [uJ]':>28} "
+          f"{base_power.energy_uj:>10.3f} {cop_power.energy_uj:>10.3f}")
+    speedup = base_region.cycles / cop_region.cycles
+    print(f"\nCOPIFT speeds up the softmax exponential stage by "
+          f"{speedup:.2f}x")
+    print("softmax outputs verified against NumPy for both variants.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""COPIFT reproduction: dual-issue execution of mixed integer and
+floating-point workloads on energy-efficient in-order RISC-V cores.
+
+A full-system reproduction of Colagrande & Benini, DAC 2025
+(arXiv:2503.20590), built on a cycle-level Python model of a Snitch-like
+core with FREP pseudo dual-issue, SSR/ISSR stream semantic registers,
+and the COPIFT custom-1 ISA extension.
+
+Package map:
+
+* :mod:`repro.isa`     -- registers, instruction set, assembler DSL.
+* :mod:`repro.sim`     -- functional + cycle-level core model.
+* :mod:`repro.energy`  -- activity-based power/energy model.
+* :mod:`repro.copift`  -- the seven-step COPIFT methodology + Eqs. 1-3.
+* :mod:`repro.kernels` -- the six evaluated kernels, baseline + COPIFT.
+* :mod:`repro.eval`    -- regeneration of Table I and Figures 2-3.
+
+Quick start::
+
+    from repro.kernels import kernel
+    from repro.eval import measure_kernel
+
+    m = measure_kernel(kernel("expf"), n=4096)
+    print(m.speedup, m.copift.ipc, m.energy_improvement)
+"""
+
+from .eval import measure_instance, measure_kernel
+from .kernels import KERNELS, kernel
+
+__version__ = "1.0.0"
+
+__all__ = ["KERNELS", "kernel", "measure_instance", "measure_kernel",
+           "__version__"]

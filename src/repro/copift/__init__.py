@@ -1,0 +1,88 @@
+"""The COPIFT methodology: analysis, planning and codegen helpers.
+
+The seven steps of the paper's §II-A map onto this package as:
+
+========  =======================================  =====================
+Step      What it does                             Module
+========  =======================================  =====================
+Step 1    DFG construction + dependency typing     :mod:`.dfg`
+Step 2    Phase partitioning (min-cut heuristic)   :mod:`.partition`
+Step 3    Instruction reordering by phase          :mod:`.reorder`
+Step 4    Loop tiling/fission + spill buffers      :mod:`.tiling`
+Step 5    Software pipelining + replication        :mod:`.pipeline`,
+                                                   :mod:`.tiling`
+Step 6    SSR mapping + stream fusion + ISSR       :mod:`.ssr_mapping`
+Step 7    FREP wrapping and loop ordering          :mod:`.frep_mapping`
+Eqs. 1-3  Analytical speedup/IPC model             :mod:`.model`
+========  =======================================  =====================
+"""
+
+from .analyze import CopiftAnalysis, analyze
+from .dfg import DataFlowGraph, DepKind, Dependency, build_dfg
+from .frep_mapping import FrepBodyError, emit_frep
+from .model import (
+    InstructionMix,
+    KernelModel,
+    expected_ipc_gain,
+    expected_speedup,
+    expected_speedup_from_baseline,
+)
+from .partition import Partition, Phase, partition_dfg
+from .pipeline import (
+    PhaseWork,
+    buffer_rotation,
+    pipelined_schedule,
+    steady_state_range,
+)
+from .reorder import phase_slices, reorder
+from .ssr_mapping import (
+    AffineStream,
+    IndirectStream,
+    SSRAssignment,
+    assign_ssrs,
+    emit_indirect_base,
+    emit_stream_base,
+    emit_stream_shape,
+    fuse_streams,
+)
+from .tiling import BufferSpec, TilingPlan, plan_from_partition
+from .transform import TwoPhaseBuild, TwoPhaseSpec, generate_two_phase
+
+__all__ = [
+    "AffineStream",
+    "CopiftAnalysis",
+    "analyze",
+    "BufferSpec",
+    "DataFlowGraph",
+    "DepKind",
+    "Dependency",
+    "FrepBodyError",
+    "IndirectStream",
+    "InstructionMix",
+    "KernelModel",
+    "Partition",
+    "Phase",
+    "PhaseWork",
+    "SSRAssignment",
+    "TilingPlan",
+    "TwoPhaseBuild",
+    "TwoPhaseSpec",
+    "assign_ssrs",
+    "generate_two_phase",
+    "buffer_rotation",
+    "build_dfg",
+    "emit_frep",
+    "emit_indirect_base",
+    "emit_stream_base",
+    "emit_stream_shape",
+    "expected_ipc_gain",
+    "expected_speedup",
+    "expected_speedup_from_baseline",
+    "fuse_streams",
+    "partition_dfg",
+    "phase_slices",
+    "pipelined_schedule",
+    "plan_from_partition",
+    "reorder",
+    "steady_state_range",
+]

@@ -1,0 +1,102 @@
+"""COPIFT analytical performance model (paper Equations 1-3).
+
+From easily measurable kernel characteristics — the number of integer
+and FP instructions in the baseline and COPIFT variants — the paper
+derives first-order estimates of speedup and IPC gain:
+
+* ``S'  = (n_int_base + n_fp_base) / max(n_int_copift, n_fp_copift)``
+  (Eq. 1) — expected speedup, assuming similar per-thread IPC.
+* ``I'  = (n_int_copift + n_fp_copift) / max(n_int_copift, n_fp_copift)``
+  (Eq. 2) — expected dual-issue IPC (relative to 1.0 single-issue).
+* ``S'' = 1 + TI``  with thread imbalance
+  ``TI = min(n_int_base, n_fp_base) / max(n_int_base, n_fp_base)``
+  (Eq. 3) — speedup estimated from the baseline mix alone, exact when
+  the instruction count is unchanged by the transformation.
+
+These drive Table I and the dashed expectation lines in Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Integer/FP instruction counts of one steady-state loop iteration."""
+
+    n_int: int
+    n_fp: int
+
+    @property
+    def total(self) -> int:
+        return self.n_int + self.n_fp
+
+    @property
+    def thread_imbalance(self) -> float:
+        """TI = min/max of the two thread populations (Eq. 3)."""
+        hi = max(self.n_int, self.n_fp)
+        if hi == 0:
+            return 0.0
+        return min(self.n_int, self.n_fp) / hi
+
+
+def expected_speedup(base: InstructionMix,
+                     copift: InstructionMix) -> float:
+    """S' (Eq. 1): speedup assuming both threads sustain similar IPC."""
+    bottleneck = max(copift.n_int, copift.n_fp)
+    if bottleneck == 0:
+        raise ValueError("COPIFT variant has no instructions")
+    return base.total / bottleneck
+
+
+def expected_ipc_gain(copift: InstructionMix) -> float:
+    """I' (Eq. 2): dual-issue IPC of the COPIFT variant."""
+    bottleneck = max(copift.n_int, copift.n_fp)
+    if bottleneck == 0:
+        raise ValueError("COPIFT variant has no instructions")
+    return copift.total / bottleneck
+
+
+def expected_speedup_from_baseline(base: InstructionMix) -> float:
+    """S'' = I'' = 1 + TI (Eq. 3): estimate from the baseline mix alone.
+
+    Uses the identity ``a + b = max(a, b) + min(a, b)``, valid when the
+    transformation leaves instruction counts roughly unchanged.
+    """
+    return 1.0 + base.thread_imbalance
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Table-I row: characteristics + analytical expectations."""
+
+    name: str
+    base: InstructionMix
+    copift: InstructionMix
+    #: Integer load/stores added by spilling in Step 4 (per iteration).
+    int_ldst_delta: int = 0
+    #: Distinct inter-phase buffers after Step 4 (before replication).
+    buffers_step4: int = 0
+    #: FP load/stores eliminated by SSR mapping in Step 6.
+    fp_ldst_delta: int = 0
+    #: Total buffers after software-pipelining replication (Step 5).
+    buffers_step5: int = 0
+    #: Largest block size fitting the L1 budget.
+    max_block: int = 0
+
+    @property
+    def thread_imbalance(self) -> float:
+        return self.base.thread_imbalance
+
+    @property
+    def s_prime(self) -> float:
+        return expected_speedup(self.base, self.copift)
+
+    @property
+    def s_double_prime(self) -> float:
+        return expected_speedup_from_baseline(self.base)
+
+    @property
+    def i_prime(self) -> float:
+        return expected_ipc_gain(self.copift)

@@ -1,0 +1,62 @@
+"""COPIFT Step 5: software-pipelined block schedule (paper Fig. 1f/1g/1j).
+
+In the tiled schedule of Step 4, macro-iteration ``j`` runs every phase
+on block ``j``.  Software pipelining skews the schedule so that in
+macro-iteration ``j'`` phase ``p`` processes block ``j' - p``; dependent
+phases are then one macro-iteration apart and can be overlapped (the FP
+phases by the FREP sequencer, the integer phases by the core).
+
+The schedule has a prologue (macro-iterations where late phases have no
+block yet), a steady state, and an epilogue (early phases exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhaseWork:
+    """Phase *phase* processes block *block* in one macro-iteration."""
+
+    phase: int
+    block: int
+
+
+def pipelined_schedule(n_phases: int,
+                       n_blocks: int) -> list[list[PhaseWork]]:
+    """The full skewed schedule: one list of work items per ``j'``.
+
+    Macro-iteration ``j'`` ranges over ``0 .. n_blocks + n_phases - 2``;
+    phase ``p`` is active when ``0 <= j' - p < n_blocks``.
+    """
+    if n_phases < 1 or n_blocks < 1:
+        raise ValueError("need at least one phase and one block")
+    schedule = []
+    for macro in range(n_blocks + n_phases - 1):
+        work = [
+            PhaseWork(phase, macro - phase)
+            for phase in range(n_phases)
+            if 0 <= macro - phase < n_blocks
+        ]
+        schedule.append(work)
+    return schedule
+
+
+def steady_state_range(n_phases: int,
+                       n_blocks: int) -> tuple[int, int]:
+    """Macro-iteration interval [start, end) where all phases are active."""
+    start = n_phases - 1
+    end = n_blocks
+    if end < start:
+        # Too few blocks for a steady state; the schedule is all
+        # prologue/epilogue.
+        return (start, start)
+    return (start, end)
+
+
+def buffer_rotation(replicas: int, macro: int) -> int:
+    """Index of the buffer replica a producer uses in macro-iteration
+    *macro* (consumers at distance ``d`` read replica
+    ``(macro - d) % replicas``)."""
+    return macro % replicas

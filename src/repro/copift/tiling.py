@@ -1,0 +1,143 @@
+"""COPIFT Steps 4-5: loop tiling, fission and software pipelining plans.
+
+Step 4 tiles the element loop into blocks of ``B`` elements and fissions
+it into one loop per phase; every value crossing a phase boundary (a cut
+edge from Step 2) is spilled to a block-sized buffer.  Step 5 software-
+pipelines the block schedule so that, in macro-iteration ``j'``, phase
+``p`` processes block ``j' - p``; a buffer communicating from phase ``p``
+to phase ``q`` must then be replicated ``(q - p) + 1`` times (the
+distance between the phases in the total order, plus one — paper §II-A).
+
+This module computes those plans: which buffers exist, how many replicas
+each needs, how much scratchpad they consume, and the largest block size
+that fits a given L1 budget (Table I's "Max Block" column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .partition import Partition
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One inter-phase communication buffer.
+
+    Attributes:
+        name: Buffer name (derived from the value it carries).
+        producer: Phase index producing the value (``-1`` for DMA-staged
+            kernel inputs).
+        consumer: Phase index consuming it (``n_phases`` for outputs).
+        elem_bytes: Bytes per element.
+        replicas: Copies required by the software-pipelined schedule.
+    """
+
+    name: str
+    producer: int
+    consumer: int
+    elem_bytes: int = 8
+
+    @property
+    def distance(self) -> int:
+        return self.consumer - self.producer
+
+    @property
+    def replicas(self) -> int:
+        return self.distance + 1
+
+    def bytes_for_block(self, block: int) -> int:
+        return self.replicas * self.elem_bytes * block
+
+
+@dataclass
+class TilingPlan:
+    """Steps 4-5 output: buffers, replication, block-size limits."""
+
+    buffers: list[BufferSpec]
+    n_phases: int
+    #: Fixed per-kernel scratchpad overhead (lookup tables, constants).
+    fixed_bytes: int = 0
+
+    @property
+    def buffers_step4(self) -> int:
+        """Distinct buffers before replication (Table I Step-4 column)."""
+        return len(self.buffers)
+
+    @property
+    def buffers_step5(self) -> int:
+        """Total buffer instances after replication (Step-5 column)."""
+        return sum(b.replicas for b in self.buffers)
+
+    def bytes_for_block(self, block: int) -> int:
+        return self.fixed_bytes + sum(
+            b.bytes_for_block(block) for b in self.buffers
+        )
+
+    def max_block(self, l1_budget: int, multiple_of: int = 1) -> int:
+        """Largest block size whose buffers fit in *l1_budget* bytes."""
+        per_element = sum(
+            b.replicas * b.elem_bytes for b in self.buffers
+        )
+        if per_element == 0:
+            raise ValueError("plan has no per-element buffers")
+        block = (l1_budget - self.fixed_bytes) // per_element
+        if multiple_of > 1:
+            block -= block % multiple_of
+        if block <= 0:
+            raise ValueError(
+                f"L1 budget of {l1_budget} bytes cannot fit even one "
+                f"block element ({per_element} B/element + "
+                f"{self.fixed_bytes} B fixed)"
+            )
+        return block
+
+
+def plan_from_partition(partition: Partition,
+                        input_buffers: dict[str, int] | None = None,
+                        output_buffers: dict[str, int] | None = None,
+                        elem_bytes: int = 8,
+                        fixed_bytes: int = 0) -> TilingPlan:
+    """Derive a tiling plan from a Step-2 partition.
+
+    Cut edges carrying the same value (same source instruction) share
+    one buffer; 8-byte values assembled from two 4-byte stores (the
+    ``t`` buffer in the paper's example) are merged by their destination
+    token.
+
+    Args:
+        partition: Step-2 result.
+        input_buffers: name -> elem_bytes of DMA-staged kernel inputs
+            (producer stage ``-1``).
+        output_buffers: name -> elem_bytes of kernel outputs
+            (consumer stage ``n_phases``).
+        elem_bytes: Default element size of spill buffers.
+        fixed_bytes: Constant scratchpad overhead (lookup tables...).
+    """
+    n_phases = len(partition.phases)
+    buffers: list[BufferSpec] = []
+    seen: set[tuple] = set()
+    for dep in partition.cut_edges:
+        producer = partition.phase_of[dep.src]
+        consumer = partition.phase_of[dep.dst]
+        # One buffer per produced value: dedupe by source instruction,
+        # merging multi-word assemblies by their memory destination.
+        instr = partition.dfg.instructions[dep.src]
+        if instr.spec.is_store and instr.mem_base is not None:
+            key = ("mem", instr.mem_base, producer, consumer)
+        else:
+            key = ("val", dep.src, consumer)
+        if key in seen:
+            continue
+        seen.add(key)
+        buffers.append(BufferSpec(
+            name=f"spill{len(buffers)}",
+            producer=producer,
+            consumer=consumer,
+            elem_bytes=elem_bytes,
+        ))
+    for name, size in (input_buffers or {}).items():
+        buffers.append(BufferSpec(name, -1, 0, size))
+    for name, size in (output_buffers or {}).items():
+        buffers.append(BufferSpec(name, n_phases - 1, n_phases, size))
+    return TilingPlan(buffers, n_phases, fixed_bytes)

@@ -1,0 +1,6 @@
+"""Activity-based energy and power model (paper Fig. 2b/2c substitute)."""
+
+from .constants import EnergyParams
+from .model import EnergyModel, PowerReport
+
+__all__ = ["EnergyModel", "EnergyParams", "PowerReport"]

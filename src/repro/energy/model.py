@@ -1,0 +1,122 @@
+"""Activity-based energy and power estimation.
+
+Consumes the simulator's :class:`~repro.sim.counters.Counters` plus run
+metadata (cycle count, DMA activity) and produces a :class:`PowerReport`
+with the quantities Figure 2b/2c of the paper plot: average power in mW
+and total energy.
+
+The substitution rationale (DESIGN.md §2): the paper's PrimeTime flow
+integrates switching activity against post-layout capacitances; our model
+integrates *event counts* against per-event energies.  Both reduce to
+``P = E_activity / T + P_constant`` — the shape of every power result in
+the paper (power tracking IPC, the I$-thrashing exception, energy
+improvements despite higher power) comes from the event counts, which the
+simulator measures rather than assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.counters import Counters
+from .constants import EnergyParams
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Energy/power breakdown of one run (or one region).
+
+    Attributes:
+        cycles: Region duration in cycles (== nanoseconds at 1 GHz).
+        dynamic_energy_pj: Activity energy integrated over the region.
+        constant_energy_pj: Background (clock/leakage/DMA) energy.
+        breakdown_pj: Dynamic energy per component group.
+    """
+
+    cycles: int
+    dynamic_energy_pj: float
+    constant_energy_pj: float
+    breakdown_pj: dict[str, float]
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.dynamic_energy_pj + self.constant_energy_pj
+
+    @property
+    def power_mw(self) -> float:
+        """Average power in milliwatts (pJ / ns at 1 GHz)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_energy_pj / self.cycles
+
+    @property
+    def energy_uj(self) -> float:
+        return self.total_energy_pj * 1e-6
+
+
+class EnergyModel:
+    """Maps activity counters to energy and power."""
+
+    def __init__(self, params: EnergyParams | None = None) -> None:
+        self.params = params or EnergyParams()
+
+    def report(self, counters: Counters, cycles: int,
+               dma_active: bool = False,
+               dma_bytes: int = 0) -> PowerReport:
+        """Estimate energy/power for a region.
+
+        Args:
+            counters: Activity accumulated in the region.
+            cycles: Region duration.
+            dma_active: Whether the DMA engine was powered (vector
+                kernels stream arrays through it; Monte Carlo kernels
+                leave it clock-gated — the paper's §III-B base-power
+                difference).
+            dma_bytes: Bytes moved by the DMA inside the region.
+        """
+        p = self.params
+        c = counters
+        breakdown = {
+            "int_core": (
+                c.int_alu_ops * p.int_alu_pj
+                + c.int_mul_ops * p.int_mul_pj
+                + c.branches * p.branch_pj
+                + c.csr_ops * p.csr_pj
+            ),
+            "int_lsu": (
+                c.int_loads * p.int_load_pj
+                + c.int_stores * p.int_store_pj
+            ),
+            "fpu": (
+                c.fp_adds * p.fp_add_pj
+                + c.fp_muls * p.fp_mul_pj
+                + c.fp_fmas * p.fp_fma_pj
+                + c.fp_divs * p.fp_div_pj
+                + c.fp_cmps * p.fp_cmp_pj
+                + c.fp_cvts * p.fp_cvt_pj
+                + c.fp_mvs * p.fp_mv_pj
+            ),
+            "fp_lsu": (
+                c.fp_loads * p.fp_load_pj
+                + c.fp_stores * p.fp_store_pj
+            ),
+            "ssr": (
+                (c.ssr_reads + c.ssr_writes) * p.ssr_elem_pj
+                + c.ssr_index_fetches * p.ssr_index_pj
+            ),
+            "sequencer": c.sequencer_issued * p.sequencer_issue_pj,
+            "icache": (
+                c.icache_l0_hits * p.icache_hit_pj
+                + c.icache_l0_misses * p.icache_miss_pj
+            ),
+            "dma": dma_bytes * p.dma_byte_pj if dma_active else 0.0,
+        }
+        dynamic = sum(breakdown.values())
+        dma_mw = p.dma_active_mw if dma_active else p.dma_idle_mw
+        constant = (p.constant_mw + dma_mw) * cycles
+        return PowerReport(
+            cycles=cycles,
+            dynamic_energy_pj=dynamic,
+            constant_energy_pj=constant,
+            breakdown_pj=breakdown,
+        )

@@ -1,0 +1,17 @@
+"""Evaluation harness: regenerates the paper's Table I and Figures 2-3."""
+
+from .runner import (
+    KernelMeasurement,
+    VariantMeasurement,
+    geomean,
+    measure_instance,
+    measure_kernel,
+)
+
+__all__ = [
+    "KernelMeasurement",
+    "VariantMeasurement",
+    "geomean",
+    "measure_instance",
+    "measure_kernel",
+]

@@ -1,0 +1,64 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.eval table1
+    python -m repro.eval fig2 [--n 4096]
+    python -m repro.eval fig3 [--full]
+    python -m repro.eval all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import fig2, fig3, report, table1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["table1", "fig2a", "fig2b", "fig2c", "fig2", "fig3",
+                 "all", "report"],
+        help="Which artifact to regenerate.",
+    )
+    parser.add_argument("--n", type=int, default=4096,
+                        help="Problem size for Fig. 2 measurements.")
+    parser.add_argument("--full", action="store_true",
+                        help="Use the paper's full Fig. 3 grid "
+                             "(slow: tens of minutes).")
+    parser.add_argument("--out", type=str, default=None,
+                        help="Write the report to this file "
+                             "(report mode only).")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "table1":
+        print(table1.render(table1.generate(n=min(args.n, 2048))))
+    elif args.artifact in ("fig2", "fig2a", "fig2b", "fig2c"):
+        print(fig2.render(fig2.generate(n=args.n)))
+    elif args.artifact == "fig3":
+        print(fig3.render(fig3.generate(full=args.full)))
+    elif args.artifact == "report":
+        text = report.generate_report(n=args.n, full_fig3=args.full)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+    elif args.artifact == "all":
+        print(table1.render(table1.generate(n=min(args.n, 2048))))
+        print()
+        print(fig2.render(fig2.generate(n=args.n)))
+        print()
+        print(fig3.render(fig3.generate(full=args.full)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Experiment runner: paired baseline/COPIFT measurements.
+
+One :class:`KernelMeasurement` captures everything Figures 2a-2c need
+for one kernel: steady-state IPC of both variants, average power from
+the energy model, speedup and energy improvement.  Measurements use the
+``main`` region (setup excluded) at a problem size large enough for
+prologue/epilogue effects to be representative of steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy import EnergyModel, PowerReport
+from ..kernels.common import KernelInstance, MAIN_REGION
+from ..kernels.registry import KernelDef
+from ..sim import CoreConfig, RunResult
+
+
+@dataclass(frozen=True)
+class VariantMeasurement:
+    """One variant's steady-state numbers."""
+
+    variant: str
+    cycles: int
+    int_instructions: int
+    fp_instructions: int
+    ipc: float
+    power: PowerReport
+
+    @property
+    def power_mw(self) -> float:
+        return self.power.power_mw
+
+    @property
+    def energy_pj(self) -> float:
+        return self.power.total_energy_pj
+
+
+@dataclass(frozen=True)
+class KernelMeasurement:
+    """Paired baseline/COPIFT measurement of one kernel."""
+
+    name: str
+    n: int
+    block: int
+    baseline: VariantMeasurement
+    copift: VariantMeasurement
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.cycles / self.copift.cycles
+
+    @property
+    def ipc_gain(self) -> float:
+        return self.copift.ipc / self.baseline.ipc
+
+    @property
+    def power_increase(self) -> float:
+        return self.copift.power_mw / self.baseline.power_mw
+
+    @property
+    def energy_improvement(self) -> float:
+        return self.baseline.energy_pj / self.copift.energy_pj
+
+
+def measure_instance(instance: KernelInstance,
+                     config: CoreConfig | None = None,
+                     energy_model: EnergyModel | None = None,
+                     check: bool = True) -> VariantMeasurement:
+    """Run one kernel instance and reduce it to steady-state numbers."""
+    model = energy_model or EnergyModel()
+    result, _ = instance.run(config=config, check=check)
+    region = result.region(MAIN_REGION)
+    counters = region.counters
+    power = model.report(
+        counters, region.cycles,
+        dma_active=instance.dma_active,
+        dma_bytes=instance.dma_bytes,
+    )
+    return VariantMeasurement(
+        variant=instance.variant,
+        cycles=region.cycles,
+        int_instructions=counters.int_issued,
+        fp_instructions=counters.fp_issued,
+        ipc=region.ipc,
+        power=power,
+    )
+
+
+def measure_kernel(kernel_def: KernelDef, n: int = 4096,
+                   block: int | None = None,
+                   config: CoreConfig | None = None,
+                   energy_model: EnergyModel | None = None,
+                   check: bool = True) -> KernelMeasurement:
+    """Measure baseline + COPIFT variants of one kernel."""
+    block = block or kernel_def.default_block
+    baseline = measure_instance(
+        kernel_def.build_baseline(n), config=config,
+        energy_model=energy_model, check=check,
+    )
+    copift = measure_instance(
+        kernel_def.build_copift(n, block=block), config=config,
+        energy_model=energy_model, check=check,
+    )
+    return KernelMeasurement(
+        name=kernel_def.name, n=n, block=block,
+        baseline=baseline, copift=copift,
+    )
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

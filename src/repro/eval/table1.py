@@ -1,0 +1,108 @@
+"""Table I regeneration: kernel characteristics and model expectations.
+
+For each kernel we measure the dynamic instruction mix of the main
+region (normalized to the paper's 4-element loop iterations), derive
+the analytical columns (TI, I′, S″, S′ — Eqs. 1-3) and the maximum
+block size from the buffer plan, and print them next to the paper's
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..copift.model import InstructionMix, KernelModel
+from ..kernels.registry import KERNELS, KernelDef
+from ..sim import CoreConfig
+from .runner import measure_kernel
+
+#: Scratchpad budget for COPIFT buffers, matching the scale implied by
+#: the paper's Max-Block column (341 blocks × 6 buffers × 8 B ≈ 16 KiB).
+L1_BUFFER_BUDGET = 16 * 1024
+
+#: Bytes of rotated buffer arena per block element for each kernel
+#: (from the kernels' column layouts; see each kernel module).
+ARENA_BYTES_PER_ELEMENT = {
+    "expf": 3 * 4 * 8,            # 3 columns x [ki|w|y|t]
+    "logf": 2 * 3 * 8,            # 2 columns x [z|ki|idx]
+    "pi_lcg": 2 * 16,             # 2 columns x (x,y) pairs
+    "poly_lcg": 2 * 16,
+    "pi_xoshiro128p": 2 * 16,
+    "poly_xoshiro128p": 2 * 16,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured + derived Table-I row, with the paper's row alongside."""
+
+    measured: KernelModel
+    paper: KernelModel
+
+    @property
+    def name(self) -> str:
+        return self.measured.name
+
+
+def measured_model(kernel_def: KernelDef, n: int = 2048,
+                   config: CoreConfig | None = None) -> KernelModel:
+    """Build a Table-I row from dynamic measurements of our kernels."""
+    result = measure_kernel(kernel_def, n=n, config=config, check=False)
+    unroll = 4
+
+    def mix(variant) -> InstructionMix:
+        return InstructionMix(
+            round(variant.int_instructions * unroll / n),
+            round(variant.fp_instructions * unroll / n),
+        )
+
+    per_element = ARENA_BYTES_PER_ELEMENT[kernel_def.name]
+    max_block = (L1_BUFFER_BUDGET // per_element) & ~3
+    return KernelModel(
+        name=kernel_def.name,
+        base=mix(result.baseline),
+        copift=mix(result.copift),
+        max_block=max_block,
+    )
+
+
+def generate(n: int = 2048,
+             config: CoreConfig | None = None) -> list[Table1Row]:
+    """All Table-I rows, in the paper's order."""
+    rows = []
+    for kernel_def in KERNELS.values():
+        rows.append(Table1Row(
+            measured=measured_model(kernel_def, n=n, config=config),
+            paper=kernel_def.paper_model(),
+        ))
+    return rows
+
+
+def render(rows: list[Table1Row]) -> str:
+    """Text rendering, ours vs the paper's values."""
+    header = (
+        f"{'Kernel':<18} {'#Int':>9} {'#FP':>9} {'TI':>11} "
+        f"{'CP#Int':>11} {'CP#FP':>11} {'I_':>11} {'S__':>11} "
+        f"{'S_':>11} {'MaxBlk':>13}"
+    )
+    lines = ["Table I: kernel characteristics (measured | paper)",
+             header, "-" * len(header)]
+
+    def pair(mine, theirs, fmt="{:.0f}") -> str:
+        return f"{fmt.format(mine)}|{fmt.format(theirs)}"
+
+    for row in rows:
+        m, p = row.measured, row.paper
+        lines.append(
+            f"{row.name:<18} "
+            f"{pair(m.base.n_int, p.base.n_int):>9} "
+            f"{pair(m.base.n_fp, p.base.n_fp):>9} "
+            f"{pair(m.thread_imbalance, p.thread_imbalance, '{:.2f}'):>11} "
+            f"{pair(m.copift.n_int, p.copift.n_int):>11} "
+            f"{pair(m.copift.n_fp, p.copift.n_fp):>11} "
+            f"{pair(m.i_prime, p.i_prime, '{:.2f}'):>11} "
+            f"{pair(m.s_double_prime, p.s_double_prime, '{:.2f}'):>11} "
+            f"{pair(m.s_prime, p.s_prime, '{:.2f}'):>11} "
+            f"{pair(m.max_block, p.max_block):>13}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""ISA layer: registers, instruction specs, programs and the assembler.
+
+The public surface most users need:
+
+* :func:`reg` / :data:`INT_REGS` / :data:`FP_REGS` — register lookup.
+* :data:`SPECS` / :func:`spec` — the instruction-set table.
+* :class:`ProgramBuilder` / :class:`Program` — building programs in Python.
+* :func:`parse` — assembling textual RISC-V assembly.
+"""
+
+from .asm import AsmSyntaxError, parse
+from .instructions import (
+    COPIFT_REENCODINGS,
+    InstrSpec,
+    OpClass,
+    SPECS,
+    Thread,
+    spec,
+)
+from .program import Instruction, Program, ProgramBuilder, make_instruction
+from .registers import (
+    FP_REGS,
+    INT_REGS,
+    RegClass,
+    Register,
+    SSR_REGS,
+    fp_reg,
+    int_reg,
+    reg,
+)
+
+__all__ = [
+    "AsmSyntaxError",
+    "COPIFT_REENCODINGS",
+    "FP_REGS",
+    "INT_REGS",
+    "InstrSpec",
+    "Instruction",
+    "OpClass",
+    "Program",
+    "ProgramBuilder",
+    "RegClass",
+    "Register",
+    "SPECS",
+    "SSR_REGS",
+    "Thread",
+    "fp_reg",
+    "int_reg",
+    "make_instruction",
+    "parse",
+    "reg",
+    "spec",
+]

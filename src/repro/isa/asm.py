@@ -1,0 +1,122 @@
+"""Textual RISC-V assembly parser.
+
+Parses the subset of assembly syntax the ISA table defines, producing a
+:class:`~repro.isa.program.Program`.  This is the front door for the COPIFT
+methodology demos (e.g. the paper's Figure 1b listing) and for tests.
+
+Supported syntax::
+
+    loop:                       # labels
+        fld   fa3, 0(a3)        # memory operands as imm(base)
+        fmadd.d fa2, fa0, fa3, fa1
+        addi  a3, a3, 8         # immediates in decimal or 0x hex
+        bne   a3, a1, loop      # branch targets by label
+        # full-line and trailing comments
+
+Register operands accept ABI names and ``x``/``f`` numeric names.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .instructions import spec as get_spec
+from .program import Program, ProgramBuilder
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(([\w.]+)\)$")
+
+
+class AsmSyntaxError(ValueError):
+    """Raised for malformed assembly input, with line information."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 0)
+
+
+def _split_operands(text: str) -> list[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def parse(text: str, name: str = "") -> Program:
+    """Parse assembly *text* into a :class:`Program`.
+
+    Raises:
+        AsmSyntaxError: on malformed lines, unknown mnemonics or operand
+            count mismatches.
+    """
+    builder = ProgramBuilder(name)
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            try:
+                builder.label(label_match.group(1))
+            except ValueError as exc:
+                raise AsmSyntaxError(line_no, raw_line, str(exc)) from exc
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        operand_text = parts[1].strip() if len(parts) > 1 else ""
+        try:
+            spec = get_spec(mnemonic)
+        except KeyError as exc:
+            raise AsmSyntaxError(line_no, raw_line, str(exc)) from exc
+        tokens = _split_operands(operand_text)
+        try:
+            operands = _tokens_to_operands(spec.roles, tokens,
+                                           spec.mem_base_role)
+            builder.emit(mnemonic, *operands)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise AsmSyntaxError(line_no, raw_line, str(exc)) from exc
+    try:
+        return builder.build()
+    except ValueError as exc:
+        raise AsmSyntaxError(0, "", str(exc)) from exc
+
+
+def _tokens_to_operands(
+    roles: tuple[str, ...],
+    tokens: list[str],
+    mem_base_role: str | None,
+) -> list:
+    """Map comma-separated operand tokens onto spec roles.
+
+    For memory-format instructions the textual form has one fewer token
+    than the spec roles (``imm(base)`` covers both ``imm`` and the base
+    register), so it is expanded here.
+    """
+    if mem_base_role is not None:
+        if len(tokens) != 2:
+            raise ValueError(
+                f"memory instruction expects 'reg, imm(base)', "
+                f"got {tokens}"
+            )
+        mem_match = _MEM_RE.match(tokens[1])
+        if not mem_match:
+            raise ValueError(f"malformed memory operand {tokens[1]!r}")
+        # Roles are (reg, imm, base) by construction of the spec table.
+        return [tokens[0], _parse_int(mem_match.group(1)),
+                mem_match.group(2)]
+    if len(tokens) != len(roles):
+        raise ValueError(
+            f"expected {len(roles)} operands for roles {roles}, "
+            f"got {len(tokens)}"
+        )
+    operands = []
+    for role, token in zip(roles, tokens):
+        if role == "imm":
+            operands.append(_parse_int(token))
+        else:
+            operands.append(token)  # registers & labels resolved downstream
+    return operands

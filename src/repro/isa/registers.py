@@ -1,0 +1,121 @@
+"""Register-file model for the RV32G + Snitch ISA.
+
+RISC-V defines two architectural register files: the 32 ``x`` integer
+registers of RV32I and the 32 ``f`` floating-point registers of the "F"/"D"
+extensions.  COPIFT's central observation is that these two files give two
+threads with (mostly) independent state, so the classification of every
+operand as *integer* or *floating point* is load-bearing throughout this
+package.
+
+Registers are represented as small frozen dataclasses interned in module
+level tables, so identity comparison works and sets/dicts are cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RegClass(enum.Enum):
+    """Which architectural register file a register belongs to."""
+
+    INT = "int"
+    FP = "fp"
+
+
+@dataclass(frozen=True)
+class Register:
+    """One architectural register.
+
+    Attributes:
+        cls: Register file this register belongs to.
+        index: Architectural index, 0-31.
+        name: Canonical ABI name (``a0``, ``ft3``, ...).
+    """
+
+    cls: RegClass
+    index: int
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Register({self.name})"
+
+    @property
+    def is_zero(self) -> bool:
+        """True for ``x0``/``zero``, which reads 0 and ignores writes."""
+        return self.cls is RegClass.INT and self.index == 0
+
+
+#: ABI names for the integer registers, indexed by architectural number.
+INT_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+#: ABI names for the floating-point registers.
+FP_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+INT_REGS = tuple(
+    Register(RegClass.INT, i, name) for i, name in enumerate(INT_ABI_NAMES)
+)
+FP_REGS = tuple(
+    Register(RegClass.FP, i, name) for i, name in enumerate(FP_ABI_NAMES)
+)
+
+#: Lookup from any accepted spelling (ABI name, ``x7``, ``f12``, ``fp``) to
+#: the interned :class:`Register`.
+_REG_BY_NAME: dict[str, Register] = {}
+for _reg in INT_REGS:
+    _REG_BY_NAME[_reg.name] = _reg
+    _REG_BY_NAME[f"x{_reg.index}"] = _reg
+for _reg in FP_REGS:
+    _REG_BY_NAME[_reg.name] = _reg
+    _REG_BY_NAME[f"f{_reg.index}"] = _reg
+_REG_BY_NAME["fp"] = INT_REGS[8]  # frame pointer alias for s0
+
+#: Snitch binds SSR data movers to the first three FP temporaries.
+SSR_REGS = (FP_REGS[0], FP_REGS[1], FP_REGS[2])  # ft0, ft1, ft2
+
+
+def reg(name: str | Register) -> Register:
+    """Resolve a register by name.
+
+    Accepts ABI names (``a0``, ``fa3``), numeric names (``x10``, ``f13``)
+    and :class:`Register` instances (returned unchanged).
+
+    Raises:
+        KeyError: if the name does not denote an architectural register.
+    """
+    if isinstance(name, Register):
+        return name
+    try:
+        return _REG_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown register name: {name!r}") from None
+
+
+def int_reg(name: str | Register) -> Register:
+    """Resolve *name* and check it is an integer register."""
+    r = reg(name)
+    if r.cls is not RegClass.INT:
+        raise ValueError(f"expected an integer register, got {r.name}")
+    return r
+
+
+def fp_reg(name: str | Register) -> Register:
+    """Resolve *name* and check it is a floating-point register."""
+    r = reg(name)
+    if r.cls is not RegClass.FP:
+        raise ValueError(f"expected an FP register, got {r.name}")
+    return r

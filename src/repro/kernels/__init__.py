@@ -1,0 +1,7 @@
+"""The six evaluated kernels (paper Table I), baseline + COPIFT each."""
+
+from .common import KernelInstance, MAIN_REGION
+from .registry import KERNELS, KernelDef, kernel
+
+__all__ = ["KERNELS", "KernelDef", "KernelInstance", "MAIN_REGION",
+           "kernel"]

@@ -1,0 +1,130 @@
+"""Shared kernel infrastructure: instances, constants, helpers.
+
+Every evaluated kernel comes in two variants (paper §III):
+
+* **baseline** — Snitch-optimized RV32G code: a single software-pipelined
+  loop mixing integer and FP instructions, scheduled to hide FP latency
+  but structurally single-issue.
+* **copift** — the COPIFT transformation: phases separated, loop tiled
+  into blocks, software-pipelined across blocks, FP memory traffic on
+  SSRs, FP phases under FREP, ISA-extension instructions for cross-RF
+  operations.
+
+A :class:`KernelInstance` bundles a built program with its pre-loaded
+memory image and a verifier against a golden (NumPy/Python) model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..isa.program import Program, ProgramBuilder
+from ..sim import Allocator, CoreConfig, Machine, Memory, RunResult
+
+#: Region name that wraps the main computation (marked in every kernel).
+MAIN_REGION = "main"
+
+
+@dataclass
+class KernelInstance:
+    """One runnable kernel build.
+
+    Attributes:
+        name: Kernel name (``expf``, ``poly_lcg``, ...).
+        variant: ``baseline`` or ``copift``.
+        program: The built program.
+        memory: Pre-loaded memory image (inputs, tables, buffers).
+        n: Problem size in elements/samples.
+        block: COPIFT block size (None for baselines).
+        dma_active: Whether the DMA engine is powered for this kernel
+            (vector kernels stage arrays; Monte Carlo kernels do not).
+        dma_bytes: Total bytes conceptually moved by the DMA (input
+            staging + output drain), for the energy model.
+        verify: Callable raising AssertionError if the memory image
+            does not hold the expected results after the run.
+    """
+
+    name: str
+    variant: str
+    program: Program
+    memory: Memory
+    n: int
+    block: int | None
+    dma_active: bool
+    dma_bytes: int
+    verify: Callable[[Memory, Machine], None]
+    notes: dict = field(default_factory=dict)
+
+    def run(self, config: CoreConfig | None = None,
+            check: bool = True) -> tuple[RunResult, Machine]:
+        """Simulate this instance; optionally verify the results."""
+        machine = Machine(config=config, memory=self.memory)
+        result = machine.run(self.program)
+        if check:
+            self.verify(self.memory, machine)
+        return result, machine
+
+
+def load_f64_constants(builder: ProgramBuilder, alloc: Allocator,
+                       assignments: dict[str, float],
+                       addr_reg: str = "t0") -> None:
+    """Materialize double constants into FP registers at program start.
+
+    Allocates a constant pool, stores the values at build time, and
+    emits one ``li`` + ``fld`` pair per constant (setup-only cost).
+    """
+    import numpy as np
+
+    values = list(assignments.items())
+    pool = alloc.alloc(f"constpool_{id(assignments) & 0xFFFF}",
+                       8 * len(values))
+    array = np.array([v for _, v in values], dtype=np.float64)
+    alloc.memory.write_array(pool, array)
+    for i, (reg_name, _) in enumerate(values):
+        builder.li(addr_reg, pool + 8 * i)
+        builder.fld(reg_name, 0, addr_reg)
+
+
+def emit_counted_loop(builder: ProgramBuilder, count_reg: str,
+                      bound_reg: str, label_stem: str,
+                      body: Callable[[ProgramBuilder], None],
+                      step: int = 1) -> None:
+    """Emit ``for (count = count; count != bound; count += step) body``.
+
+    The counter must be initialized before the call; the loop executes
+    at least once (kernels guarantee non-empty trips).
+    """
+    top = builder.fresh_label(label_stem)
+    builder.label(top)
+    body(builder)
+    builder.addi(count_reg, count_reg, step)
+    builder.bne(count_reg, bound_reg, top)
+
+
+@dataclass(frozen=True)
+class MixSample:
+    """Dynamically measured instruction mix of the main region."""
+
+    int_per_iter: float
+    fp_per_iter: float
+
+    def scaled(self, unroll: int) -> tuple[float, float]:
+        return self.int_per_iter * unroll, self.fp_per_iter * unroll
+
+
+def measure_mix(instance: KernelInstance,
+                config: CoreConfig | None = None,
+                unroll: int = 4) -> tuple[int, int]:
+    """Measure (int, fp) instructions per *unroll*-element group.
+
+    This is how the Table-I characteristics are produced: run the
+    kernel, take the main region's issued-instruction counts, normalize
+    per element and scale to the paper's 4-element loop iterations.
+    """
+    result, _ = instance.run(config=config, check=False)
+    region = result.region(MAIN_REGION)
+    n = instance.n
+    ints = round(region.counters.int_issued * unroll / n)
+    fps = round(region.counters.fp_issued * unroll / n)
+    return ints, fps

@@ -1,0 +1,78 @@
+"""64-bit linear congruential PRNG on RV32 (integer thread).
+
+``s = a*s + c mod 2^64`` with Knuth's MMIX multiplier.  On a 32-bit core
+the step costs four multiplies (three ``mul`` + one ``mulhu``) plus the
+carry chain — the multiply-heavy sequence whose writeback-port
+structural hazards the paper identifies as the source of the LCG
+kernels' residual stalls (§III-A: "stalls in the PRN generation with
+the LCG, which are due to structural hazards on the register file's
+writeback port, and could not be eliminated by unrolling").
+
+One step yields 64 fresh bits per sample: the high word becomes the x
+coordinate, the low word the y coordinate.  (A reproduction note, not a
+recommendation: low-order LCG bits are statistically weak; the paper's
+kernels evaluate *throughput* of the mixed int/FP pattern, not PRNG
+quality.)
+"""
+
+from __future__ import annotations
+
+from ..isa.program import ProgramBuilder
+
+#: Knuth MMIX constants.
+LCG_A = 6364136223846793005
+LCG_C = 1442695040888963407
+
+A_LO = LCG_A & 0xFFFFFFFF
+A_HI = LCG_A >> 32
+C_LO = LCG_C & 0xFFFFFFFF
+C_HI = LCG_C >> 32
+
+#: Register allocation contract: callers must not clobber these.
+STATE_REGS = ("s0", "s1")             # state lo, hi
+CONST_REGS = ("s8", "s9", "s10", "s11")  # a_lo, a_hi, c_lo, c_hi
+
+#: Integer instructions emitted per step (for static planning).
+STEP_INSTRUCTIONS = 10
+
+
+def emit_init(b: ProgramBuilder, seed: int) -> None:
+    """Load the PRNG state and constants (setup code, outside loops)."""
+    b.li("s0", seed & 0xFFFFFFFF)
+    b.li("s1", (seed >> 32) & 0xFFFFFFFF)
+    b.li("s8", A_LO)
+    b.li("s9", A_HI)
+    b.li("s10", C_LO)
+    b.li("s11", C_HI)
+
+
+def emit_step(b: ProgramBuilder, x_reg: str, y_reg: str) -> None:
+    """One 64-bit LCG step; x_reg := new hi word, y_reg := new lo word.
+
+    10 integer instructions, 4 on the shared muldiv unit.
+    """
+    b.mul("t3", "s8", "s0")       # lo(a_lo * s_lo)
+    b.mulhu("t4", "s8", "s0")     # hi(a_lo * s_lo)
+    b.mul("t5", "s9", "s0")       # a_hi * s_lo (low 32 bits)
+    b.mul("t6", "s8", "s1")       # a_lo * s_hi (low 32 bits)
+    b.add("t4", "t4", "t5")
+    b.add("t4", "t4", "t6")       # new hi before increment
+    b.add("s0", "t3", "s10")      # new lo = lo + c_lo
+    b.sltu("t5", "s0", "s10")     # carry
+    b.add("t4", "t4", "s11")
+    b.add("s1", "t4", "t5")       # new hi
+    if x_reg != "s1":
+        raise ValueError("LCG convention: x_reg must be s1 (state hi)")
+    if y_reg != "s0":
+        raise ValueError("LCG convention: y_reg must be s0 (state lo)")
+
+
+def reference_sequence(seed: int, n: int) -> list[tuple[int, int]]:
+    """Python mirror: (x=hi, y=lo) pairs for *n* samples."""
+    mask = (1 << 64) - 1
+    s = seed & mask
+    pairs = []
+    for _ in range(n):
+        s = (LCG_A * s + LCG_C) & mask
+        pairs.append((s >> 32, s & 0xFFFFFFFF))
+    return pairs

@@ -1,0 +1,125 @@
+"""Kernel registry: one entry per Table-I row.
+
+Provides uniform constructors for the six evaluated kernels so the
+evaluation harness, tests and benchmarks can iterate over them without
+knowing each module's signature.  Kernels are listed in the paper's
+Table-I order (by expected speedup S′).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..copift.model import InstructionMix, KernelModel
+from . import expf, logf, montecarlo
+from .common import KernelInstance
+from .montecarlo import LCG_SPEC, PI_SPEC, POLY_SPEC, XOSHIRO_SPEC
+
+
+@dataclass(frozen=True)
+class KernelDef:
+    """Uniform kernel constructor pair plus paper-reported data."""
+
+    name: str
+    build_baseline: Callable[..., KernelInstance]
+    build_copift: Callable[..., KernelInstance]
+    #: Default COPIFT block size for Figure-2 style measurements.
+    default_block: int
+    #: Paper Table I instruction mixes (per 4-element loop iteration).
+    paper_base: InstructionMix
+    paper_copift: InstructionMix
+    #: Paper Table I auxiliary columns.
+    paper_max_block: int
+    #: Paper Fig. 2 measurements, for EXPERIMENTS.md side-by-sides.
+    paper_ipc: tuple[float, float]        # (baseline, copift)
+    paper_power_mw: tuple[float, float]   # (baseline, copift)
+    paper_speedup: float
+    paper_energy_improvement: float
+
+    def paper_model(self) -> KernelModel:
+        """Table-I row computed from the paper's instruction counts."""
+        return KernelModel(
+            name=self.name,
+            base=self.paper_base,
+            copift=self.paper_copift,
+            max_block=self.paper_max_block,
+        )
+
+
+def _mc(prng, integrand):
+    def baseline(n: int, seed: int = 42) -> KernelInstance:
+        return montecarlo.build_baseline(prng, integrand, n, seed=seed)
+
+    def copift(n: int, block: int = 64, seed: int = 42) -> KernelInstance:
+        return montecarlo.build_copift(prng, integrand, n, block=block,
+                                       seed=seed)
+
+    return baseline, copift
+
+
+_PI_LCG = _mc(LCG_SPEC, PI_SPEC)
+_POLY_LCG = _mc(LCG_SPEC, POLY_SPEC)
+_PI_XOSHIRO = _mc(XOSHIRO_SPEC, PI_SPEC)
+_POLY_XOSHIRO = _mc(XOSHIRO_SPEC, POLY_SPEC)
+
+#: All kernels, in the paper's Fig. 2 x-axis order (ascending S′).
+KERNELS: dict[str, KernelDef] = {
+    "pi_xoshiro128p": KernelDef(
+        "pi_xoshiro128p", *_PI_XOSHIRO, default_block=64,
+        paper_base=InstructionMix(172, 56),
+        paper_copift=InstructionMix(200, 56),
+        paper_max_block=341,
+        paper_ipc=(0.96, 1.24), paper_power_mw=(37.90, 38.70),
+        paper_speedup=1.15, paper_energy_improvement=1.12,
+    ),
+    "poly_xoshiro128p": KernelDef(
+        "poly_xoshiro128p", *_POLY_XOSHIRO, default_block=64,
+        paper_base=InstructionMix(172, 80),
+        paper_copift=InstructionMix(200, 80),
+        paper_max_block=341,
+        paper_ipc=(0.96, 1.36), paper_power_mw=(39.00, 40.10),
+        paper_speedup=1.26, paper_energy_improvement=1.22,
+    ),
+    "pi_lcg": KernelDef(
+        "pi_lcg", *_PI_LCG, default_block=64,
+        paper_base=InstructionMix(44, 56),
+        paper_copift=InstructionMix(72, 56),
+        paper_max_block=341,
+        paper_ipc=(0.86, 1.50), paper_power_mw=(37.40, 42.10),
+        paper_speedup=1.32, paper_energy_improvement=1.17,
+    ),
+    "poly_lcg": KernelDef(
+        "poly_lcg", *_POLY_LCG, default_block=64,
+        paper_base=InstructionMix(44, 80),
+        paper_copift=InstructionMix(72, 80),
+        paper_max_block=341,
+        paper_ipc=(0.89, 1.75), paper_power_mw=(38.40, 45.10),
+        paper_speedup=1.58, paper_energy_improvement=1.34,
+    ),
+    "logf": KernelDef(
+        "logf", logf.build_baseline, logf.build_copift, default_block=64,
+        paper_base=InstructionMix(39, 52),
+        paper_copift=InstructionMix(57, 36),
+        paper_max_block=273,
+        paper_ipc=(0.92, 1.48), paper_power_mw=(41.50, 41.80),
+        paper_speedup=1.62, paper_energy_improvement=1.61,
+    ),
+    "expf": KernelDef(
+        "expf", expf.build_baseline, expf.build_copift, default_block=64,
+        paper_base=InstructionMix(43, 52),
+        paper_copift=InstructionMix(43, 36),
+        paper_max_block=157,
+        paper_ipc=(0.92, 1.63), paper_power_mw=(43.60, 46.20),
+        paper_speedup=2.05, paper_energy_improvement=1.93,
+    ),
+}
+
+
+def kernel(name: str) -> KernelDef:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None

@@ -1,0 +1,78 @@
+"""xoshiro128+ PRNG on RV32 (integer thread).
+
+Blackman & Vigna's xoshiro128+ with 4×32-bit state.  Each output is the
+sum of two state words followed by the xor-shift state update and an
+11-bit rotate — all single-cycle ALU operations, so unlike the LCG the
+xoshiro kernels have *no* multiply writeback-port hazards (which is why
+the paper's xoshiro kernels track their expected IPC more closely).
+
+Each Monte Carlo sample draws two outputs (x and y coordinates), making
+xoshiro the most integer-heavy kernel pair in Table I.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import ProgramBuilder
+
+#: State registers (s8..s11 = s[0]..s[3]); callers must not clobber.
+STATE_REGS = ("s8", "s9", "s10", "s11")
+
+#: Integer instructions emitted per 32-bit output.
+STEP_INSTRUCTIONS = 11
+
+
+def emit_init(b: ProgramBuilder, seed: int) -> None:
+    """Load a non-degenerate 128-bit state derived from *seed*."""
+    state = reference_init(seed)
+    for reg, word in zip(STATE_REGS, state):
+        b.li(reg, word)
+
+
+def emit_step(b: ProgramBuilder, out_reg: str, tmp: str = "t3",
+              tmp2: str = "t4", tmp3: str = "t5") -> None:
+    """One xoshiro128+ output into *out_reg* (11 instructions)."""
+    s0, s1, s2, s3 = STATE_REGS
+    b.add(out_reg, s0, s3)        # result = s0 + s3
+    b.slli(tmp, s1, 9)            # t = s1 << 9
+    b.xor(s2, s2, s0)             # s2 ^= s0
+    b.xor(s3, s3, s1)             # s3 ^= s1
+    b.xor(s1, s1, s2)             # s1 ^= s2
+    b.xor(s0, s0, s3)             # s0 ^= s3
+    b.xor(s2, s2, tmp)            # s2 ^= t
+    b.slli(tmp2, s3, 11)          # s3 = rotl(s3, 11)
+    b.srli(tmp3, s3, 21)
+    b.emit("or", s3, tmp2, tmp3)
+
+
+def reference_init(seed: int) -> tuple[int, int, int, int]:
+    """SplitMix-style state expansion, mirrored exactly in Python."""
+    mask = 0xFFFFFFFF
+    z = seed & mask
+    words = []
+    for _ in range(4):
+        z = (z + 0x9E3779B9) & mask
+        w = z
+        w = ((w ^ (w >> 16)) * 0x85EBCA6B) & mask
+        w = ((w ^ (w >> 13)) * 0xC2B2AE35) & mask
+        w ^= w >> 16
+        words.append(w)
+    if not any(words):
+        words[0] = 1  # the all-zero state is invalid
+    return tuple(words)
+
+
+def reference_sequence(seed: int, n_outputs: int) -> list[int]:
+    """Python mirror of *n_outputs* consecutive outputs."""
+    mask = 0xFFFFFFFF
+    s = list(reference_init(seed))
+    outputs = []
+    for _ in range(n_outputs):
+        outputs.append((s[0] + s[3]) & mask)
+        t = (s[1] << 9) & mask
+        s[2] ^= s[0]
+        s[3] ^= s[1]
+        s[1] ^= s[2]
+        s[0] ^= s[3]
+        s[2] ^= t
+        s[3] = ((s[3] << 11) | (s[3] >> 21)) & mask
+    return outputs

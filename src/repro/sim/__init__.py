@@ -1,0 +1,41 @@
+"""Simulator: Snitch-like core with FREP sequencer and SSR data movers.
+
+Public surface:
+
+* :class:`Machine` — functional + cycle-level execution of programs.
+* :class:`CoreConfig` — microarchitecture parameters (ablation switches).
+* :class:`Memory` / :class:`Allocator` — the TCDM scratchpad.
+* :class:`RunResult` / :class:`RegionMeasurement` / :class:`Counters` —
+  measurements.
+* :mod:`repro.sim.ssr` — SSR configuration field codes and
+  :func:`encode_cfg_imm` for building ``scfgwi`` immediates.
+"""
+
+from .config import CoreConfig, DEFAULT_LATENCIES
+from .counters import Counters, RegionMeasurement, RunResult
+from .machine import Machine, SimulationError
+from .memory import Allocator, Memory, MemoryError_
+from .ssr import SSR, SSRError, encode_cfg_imm, decode_cfg_imm
+from .trace import TraceEvent, dual_issue_cycles, lane_utilization, \
+    render_timeline
+
+__all__ = [
+    "Allocator",
+    "CoreConfig",
+    "Counters",
+    "DEFAULT_LATENCIES",
+    "Machine",
+    "Memory",
+    "MemoryError_",
+    "RegionMeasurement",
+    "RunResult",
+    "SSR",
+    "SSRError",
+    "SimulationError",
+    "TraceEvent",
+    "decode_cfg_imm",
+    "dual_issue_cycles",
+    "encode_cfg_imm",
+    "lane_utilization",
+    "render_timeline",
+]

@@ -1,0 +1,343 @@
+"""Functional (architectural) semantics of every supported instruction.
+
+Split by execution engine:
+
+* :data:`INT_HANDLERS` — integer-core instructions, as functions
+  ``(machine, instr) -> taken`` mutating machine state; branches return
+  whether they were taken.
+* :data:`FP_COMPUTE` — pure value functions for FP-thread instructions
+  that write an FP register.  Operand values arrive in role order (FP
+  sources first, then integer sources for cross-RF conversions).
+* :data:`FP_TO_INT` — FP-thread instructions producing an integer-RF
+  result (comparisons, ``fcvt.w.d``, ``fclass.d``, ``fmv.x.w``).
+
+Doubles are modelled with native Python floats (IEEE binary64 on all
+supported platforms); raw-bit views use ``struct`` so the paper's
+bit-manipulation tricks (e.g. glibc ``expf``'s shift-and-extract through
+an ``fsd``/``lw`` pair) behave exactly as on hardware.  ``fmadd``-family
+results are computed unfused (two roundings); kernel verification uses
+tolerances accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+_MASK32 = 0xFFFFFFFF
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+
+
+def s32(value: int) -> int:
+    """Interpret a 32-bit unsigned value as signed."""
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def u32(value: int) -> int:
+    """Truncate a Python int to 32-bit unsigned."""
+    return value & _MASK32
+
+
+def f64_to_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_f64(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q",
+                                           bits & (1 << 64) - 1))[0]
+
+
+def f32_to_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _to_f32(value: float) -> float:
+    """Round a double to the nearest binary32, returned as a double."""
+    return float(np.float32(value))
+
+
+# ---------------------------------------------------------------------------
+# Integer-core handlers
+# ---------------------------------------------------------------------------
+
+def _rr(op):
+    """Register-register ALU op from a pure (a, b) -> int function."""
+    def handler(m, instr):
+        a = m.iregs[instr.operands[1].index]
+        b = m.iregs[instr.operands[2].index]
+        m.write_ireg(instr.operands[0], op(a, b))
+        return None
+    return handler
+
+
+def _ri(op):
+    """Register-immediate ALU op."""
+    def handler(m, instr):
+        a = m.iregs[instr.operands[1].index]
+        m.write_ireg(instr.operands[0], op(a, instr.imm))
+        return None
+    return handler
+
+
+def _branch(cond):
+    def handler(m, instr):
+        a = m.iregs[instr.operands[0].index]
+        b = m.iregs[instr.operands[1].index]
+        return cond(a, b)
+    return handler
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return _MASK32
+    sa, sb = s32(a), s32(b)
+    if sa == _INT32_MIN and sb == -1:
+        return u32(_INT32_MIN)
+    return u32(int(math.trunc(sa / sb)))
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = s32(a), s32(b)
+    if sa == _INT32_MIN and sb == -1:
+        return 0
+    return u32(sa - sb * int(math.trunc(sa / sb)))
+
+
+INT_HANDLERS = {
+    "add": _rr(lambda a, b: a + b),
+    "sub": _rr(lambda a, b: a - b),
+    "and": _rr(lambda a, b: a & b),
+    "or": _rr(lambda a, b: a | b),
+    "xor": _rr(lambda a, b: a ^ b),
+    "sll": _rr(lambda a, b: a << (b & 31)),
+    "srl": _rr(lambda a, b: a >> (b & 31)),
+    "sra": _rr(lambda a, b: s32(a) >> (b & 31)),
+    "slt": _rr(lambda a, b: int(s32(a) < s32(b))),
+    "sltu": _rr(lambda a, b: int(a < b)),
+    "addi": _ri(lambda a, i: a + i),
+    "andi": _ri(lambda a, i: a & u32(i)),
+    "ori": _ri(lambda a, i: a | u32(i)),
+    "xori": _ri(lambda a, i: a ^ u32(i)),
+    "slli": _ri(lambda a, i: a << (i & 31)),
+    "srli": _ri(lambda a, i: a >> (i & 31)),
+    "srai": _ri(lambda a, i: s32(a) >> (i & 31)),
+    "slti": _ri(lambda a, i: int(s32(a) < i)),
+    "sltiu": _ri(lambda a, i: int(a < u32(i))),
+    "mul": _rr(lambda a, b: a * b),
+    "mulh": _rr(lambda a, b: (s32(a) * s32(b)) >> 32),
+    "mulhu": _rr(lambda a, b: (a * b) >> 32),
+    "mulhsu": _rr(lambda a, b: (s32(a) * b) >> 32),
+    "div": _rr(_div),
+    "divu": _rr(lambda a, b: _MASK32 if b == 0 else a // b),
+    "rem": _rr(_rem),
+    "remu": _rr(lambda a, b: a if b == 0 else a % b),
+    "beq": _branch(lambda a, b: a == b),
+    "bne": _branch(lambda a, b: a != b),
+    "blt": _branch(lambda a, b: s32(a) < s32(b)),
+    "bge": _branch(lambda a, b: s32(a) >= s32(b)),
+    "bltu": _branch(lambda a, b: a < b),
+    "bgeu": _branch(lambda a, b: a >= b),
+}
+
+
+def _h_lui(m, instr):
+    m.write_ireg(instr.operands[0], instr.imm << 12)
+    return None
+
+
+def _h_li(m, instr):
+    m.write_ireg(instr.operands[0], instr.imm)
+    return None
+
+
+def _h_mv(m, instr):
+    m.write_ireg(instr.operands[0], m.iregs[instr.operands[1].index])
+    return None
+
+
+def _h_not(m, instr):
+    m.write_ireg(instr.operands[0], ~m.iregs[instr.operands[1].index])
+    return None
+
+
+def _h_nop(m, instr):
+    return None
+
+
+def _h_beqz(m, instr):
+    return m.iregs[instr.operands[0].index] == 0
+
+
+def _h_bnez(m, instr):
+    return m.iregs[instr.operands[0].index] != 0
+
+
+def _h_lw(m, instr):
+    addr = u32(m.iregs[instr.operands[2].index] + instr.imm)
+    m.write_ireg(instr.operands[0], m.memory.read_u32(addr))
+    return None
+
+
+def _h_lh(m, instr):
+    addr = u32(m.iregs[instr.operands[2].index] + instr.imm)
+    value = m.memory.read_u16(addr)
+    if value >= 1 << 15:
+        value -= 1 << 16
+    m.write_ireg(instr.operands[0], value)
+    return None
+
+
+def _h_lbu(m, instr):
+    addr = u32(m.iregs[instr.operands[2].index] + instr.imm)
+    m.write_ireg(instr.operands[0], m.memory.read_u8(addr))
+    return None
+
+
+def _h_sw(m, instr):
+    addr = u32(m.iregs[instr.operands[2].index] + instr.imm)
+    m.memory.write_u32(addr, m.iregs[instr.operands[0].index])
+    return None
+
+
+def _h_sh(m, instr):
+    addr = u32(m.iregs[instr.operands[2].index] + instr.imm)
+    m.memory.write_u16(addr, m.iregs[instr.operands[0].index])
+    return None
+
+
+def _h_sb(m, instr):
+    addr = u32(m.iregs[instr.operands[2].index] + instr.imm)
+    m.memory.write_u8(addr, m.iregs[instr.operands[0].index])
+    return None
+
+
+def _h_dma_copy(m, instr):
+    dst = m.iregs[instr.operands[0].index]
+    src = m.iregs[instr.operands[1].index]
+    length = m.iregs[instr.operands[2].index]
+    m.memory.data[dst:dst + length] = m.memory.data[src:src + length]
+    m.counters.dma_bytes_moved += length
+    return None
+
+
+INT_HANDLERS.update({
+    "dma.copy": _h_dma_copy,
+    "lui": _h_lui, "li": _h_li, "mv": _h_mv, "not": _h_not, "nop": _h_nop,
+    "beqz": _h_beqz, "bnez": _h_bnez,
+    "lw": _h_lw, "lh": _h_lh, "lbu": _h_lbu,
+    "sw": _h_sw, "sh": _h_sh, "sb": _h_sb,
+})
+
+
+# ---------------------------------------------------------------------------
+# FP value functions
+# ---------------------------------------------------------------------------
+
+def _fsgnjx(a: float, b: float) -> float:
+    sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+    return math.copysign(a, sign)
+
+
+def _fcvt_w_d(x: float) -> int:
+    """RISC-V fcvt.w.d with round-toward-zero, saturating."""
+    if math.isnan(x):
+        return u32(_INT32_MAX)
+    if x <= _INT32_MIN:
+        return u32(_INT32_MIN)
+    if x >= _INT32_MAX:
+        return u32(_INT32_MAX)
+    return u32(int(x))
+
+
+def _fcvt_wu_d(x: float) -> int:
+    if math.isnan(x):
+        return _MASK32
+    if x <= 0:
+        return 0
+    if x >= _MASK32:
+        return _MASK32
+    return int(x)
+
+
+def fclass_d(x: float) -> int:
+    """RISC-V fclass.d classification mask."""
+    if math.isnan(x):
+        return 1 << 9  # we model all NaNs as quiet
+    bits = f64_to_bits(x)
+    negative = bits >> 63
+    exponent = (bits >> 52) & 0x7FF
+    mantissa = bits & ((1 << 52) - 1)
+    if math.isinf(x):
+        return 1 << (0 if negative else 7)
+    if exponent == 0 and mantissa == 0:
+        return 1 << (3 if negative else 4)
+    if exponent == 0:
+        return 1 << (2 if negative else 5)
+    return 1 << (1 if negative else 6)
+
+
+#: FP instructions writing an FP register: mnemonic -> pure value function.
+#: Operand order matches spec roles (FP sources, then integer sources).
+FP_COMPUTE = {
+    "fadd.d": lambda a, b: a + b,
+    "fsub.d": lambda a, b: a - b,
+    "fmul.d": lambda a, b: a * b,
+    "fdiv.d": lambda a, b: a / b if b != 0 else math.copysign(
+        math.inf, a) * math.copysign(1.0, b),
+    "fsqrt.d": math.sqrt,
+    "fmadd.d": lambda a, b, c: a * b + c,
+    "fmsub.d": lambda a, b, c: a * b - c,
+    "fnmadd.d": lambda a, b, c: -(a * b) - c,
+    "fnmsub.d": lambda a, b, c: -(a * b) + c,
+    "fadd.s": lambda a, b: _to_f32(a + b),
+    "fsub.s": lambda a, b: _to_f32(a - b),
+    "fmul.s": lambda a, b: _to_f32(a * b),
+    "fmadd.s": lambda a, b, c: _to_f32(a * b + c),
+    "fmsub.s": lambda a, b, c: _to_f32(a * b - c),
+    "fmin.d": min,
+    "fmax.d": max,
+    "fsgnj.d": lambda a, b: math.copysign(a, b),
+    "fsgnjn.d": lambda a, b: math.copysign(a, -b),
+    "fsgnjx.d": _fsgnjx,
+    "fmv.d": lambda a: a,
+    "fabs.d": abs,
+    "fneg.d": lambda a: -a,
+    "fcvt.d.s": lambda a: a,            # register already holds a double
+    "fcvt.s.d": _to_f32,
+    # Cross-RF conversions consuming an *integer* source value:
+    "fcvt.d.w": lambda i: float(s32(i)),
+    "fcvt.d.wu": lambda i: float(i),
+    "fmv.w.x": lambda i: struct.unpack("<f", struct.pack("<I", u32(i)))[0],
+    # COPIFT custom-1: same conversions, sourced from the FP RF.  The
+    # integer payload is the low 32 bits of the register's raw pattern
+    # (how an integer-thread `sw` into a streamed buffer arrives here).
+    "cfcvt.d.w": lambda a: float(s32(f64_to_bits(a) & _MASK32)),
+    "cfcvt.d.wu": lambda a: float(f64_to_bits(a) & _MASK32),
+    # COPIFT custom-1 conversions *to* integer leave the int32 bit
+    # pattern in the low word of the FP destination (for spilling to the
+    # integer thread through memory).
+    "cfcvt.w.d": lambda a: bits_to_f64(_fcvt_w_d(a)),
+    "cfcvt.wu.d": lambda a: bits_to_f64(_fcvt_wu_d(a)),
+    # COPIFT custom-1 comparisons produce 0.0 / 1.0 in the FP RF so the
+    # FP thread can accumulate them directly (hit-or-miss Monte Carlo).
+    "cfeq.d": lambda a, b: 1.0 if a == b else 0.0,
+    "cflt.d": lambda a, b: 1.0 if a < b else 0.0,
+    "cfle.d": lambda a, b: 1.0 if a <= b else 0.0,
+    "cfclass.d": lambda a: float(fclass_d(a)),
+}
+
+#: FP instructions producing an integer-RF result (Type 3 dependencies).
+FP_TO_INT = {
+    "feq.d": lambda a, b: int(a == b),
+    "flt.d": lambda a, b: int(a < b),
+    "fle.d": lambda a, b: int(a <= b),
+    "fcvt.w.d": _fcvt_w_d,
+    "fcvt.wu.d": _fcvt_wu_d,
+    "fclass.d": fclass_d,
+    "fmv.x.w": f32_to_bits,
+}

@@ -1,0 +1,141 @@
+"""Byte-addressable scratchpad memory (TCDM) and a bump allocator.
+
+The Snitch cluster's L1 is a banked scratchpad (TCDM).  Functionally we
+model it as a flat bytearray with typed accessors; NumPy helpers move whole
+arrays in and out for test setup and verification.  Timing effects
+(latency, banking) live in the core timing model, not here.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
+class MemoryError_(Exception):
+    """Out-of-range or misaligned memory access."""
+
+
+class Memory:
+    """Flat little-endian byte-addressable memory.
+
+    Args:
+        size: Capacity in bytes (default 1 MiB: generous so experiment
+            sweeps are not artificially limited; the architectural TCDM
+            budget is enforced separately by the kernel layer).
+    """
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        self.size = size
+        self.data = bytearray(size)
+
+    def _check(self, addr: int, width: int) -> None:
+        if addr < 0 or addr + width > self.size:
+            raise MemoryError_(
+                f"access of {width} bytes at 0x{addr:x} outside "
+                f"memory of size 0x{self.size:x}"
+            )
+
+    # -- scalar accessors --------------------------------------------------
+    def read_u8(self, addr: int) -> int:
+        self._check(addr, 1)
+        return self.data[addr]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self.data[addr] = value & 0xFF
+
+    def read_u16(self, addr: int) -> int:
+        self._check(addr, 2)
+        return int.from_bytes(self.data[addr:addr + 2], "little")
+
+    def write_u16(self, addr: int, value: int) -> None:
+        self._check(addr, 2)
+        self.data[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
+
+    def read_u32(self, addr: int) -> int:
+        self._check(addr, 4)
+        return _U32.unpack_from(self.data, addr)[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        _U32.pack_into(self.data, addr, value & 0xFFFFFFFF)
+
+    def read_u64(self, addr: int) -> int:
+        self._check(addr, 8)
+        return _U64.unpack_from(self.data, addr)[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self._check(addr, 8)
+        _U64.pack_into(self.data, addr, value & 0xFFFFFFFFFFFFFFFF)
+
+    def read_f64(self, addr: int) -> float:
+        self._check(addr, 8)
+        return _F64.unpack_from(self.data, addr)[0]
+
+    def write_f64(self, addr: int, value: float) -> None:
+        self._check(addr, 8)
+        _F64.pack_into(self.data, addr, value)
+
+    # -- bulk NumPy helpers --------------------------------------------------
+    def write_array(self, addr: int, array: np.ndarray) -> None:
+        """Copy *array* (C-contiguous view) into memory at *addr*."""
+        raw = np.ascontiguousarray(array).tobytes()
+        self._check(addr, len(raw))
+        self.data[addr:addr + len(raw)] = raw
+
+    def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
+        """Read *count* elements of *dtype* starting at *addr*."""
+        nbytes = np.dtype(dtype).itemsize * count
+        self._check(addr, nbytes)
+        return np.frombuffer(
+            bytes(self.data[addr:addr + nbytes]), dtype=dtype
+        ).copy()
+
+
+class Allocator:
+    """Bump allocator for laying out kernel data in the scratchpad.
+
+    Keeps a symbol table so reports and tests can refer to buffers by name.
+    """
+
+    def __init__(self, memory: Memory, base: int = 0x1000,
+                 align: int = 8) -> None:
+        self.memory = memory
+        self._next = base
+        self._align = align
+        self.symbols: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, name: str, nbytes: int) -> int:
+        """Reserve *nbytes*, returning the base address."""
+        if name in self.symbols:
+            raise ValueError(f"symbol {name!r} allocated twice")
+        mask = self._align - 1
+        addr = (self._next + mask) & ~mask
+        if addr + nbytes > self.memory.size:
+            raise MemoryError_(
+                f"allocation {name!r} of {nbytes} bytes does not fit "
+                f"(next free 0x{addr:x}, size 0x{self.memory.size:x})"
+            )
+        self._next = addr + nbytes
+        self.symbols[name] = (addr, nbytes)
+        return addr
+
+    def alloc_array(self, name: str, array: np.ndarray) -> int:
+        """Reserve space for *array*, copy it in, return the address."""
+        addr = self.alloc(name, array.nbytes)
+        self.memory.write_array(addr, array)
+        return addr
+
+    def address(self, name: str) -> int:
+        return self.symbols[name][0]
+
+    @property
+    def bytes_used(self) -> int:
+        """Total bytes from the heap base to the high-water mark."""
+        return self._next

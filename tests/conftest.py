@@ -1,0 +1,51 @@
+"""Shared fixtures: the paper's Figure 1b listing as a test vector."""
+
+import pytest
+
+from repro.isa import parse
+
+#: The paper's Figure 1b: the RV32G expf inner block.  Symbolic operands
+#: are mapped to concrete registers: InvLn2N=ft3, SHIFT=ft4, C0..C3=
+#: ft5..ft8, T=a5, ki=a6, t=a7 (the final addi pair is omitted, as in
+#: the paper's Fig. 1c, because SSR mapping eliminates it).
+FIG1B_ASM = """
+    fld     fa3, 0(a3)
+    fmul.d  fa3, ft3, fa3
+    fadd.d  fa1, fa3, ft4
+    fsd     fa1, 0(a6)
+    lw      a0, 0(a6)
+    andi    a1, a0, 31
+    slli    a1, a1, 3
+    add     a1, a5, a1
+    lw      a2, 0(a1)
+    lw      a1, 4(a1)
+    slli    a0, a0, 15
+    sw      a2, 0(a7)
+    add     a0, a0, a1
+    sw      a0, 4(a7)
+    fsub.d  fa2, fa1, ft4
+    fsub.d  fa3, fa3, fa2
+    fmadd.d fa2, ft5, fa3, ft6
+    fld     fa0, 0(a7)
+    fmadd.d fa4, ft7, fa3, ft8
+    fmul.d  fa1, fa3, fa3
+    fmadd.d fa4, fa2, fa1, fa4
+    fmul.d  fa4, fa4, fa0
+    fsd     fa4, 0(a4)
+"""
+
+#: Paper Fig. 1c ground truth, 0-based instruction indices.
+FIG1_PHASE0 = [0, 1, 2, 3, 14, 15, 16, 18, 19, 20]   # FP
+FIG1_PHASE1 = [4, 5, 6, 7, 8, 9, 10, 11, 12, 13]     # INT
+FIG1_PHASE2 = [17, 21, 22]                           # FP
+FIG1_CUT_EDGES = {(3, 4), (11, 17), (13, 17), (20, 21)}
+
+
+@pytest.fixture
+def fig1b_program():
+    return parse(FIG1B_ASM, name="fig1b")
+
+
+@pytest.fixture
+def fig1b_instructions(fig1b_program):
+    return list(fig1b_program.instructions)

@@ -1,0 +1,71 @@
+"""Tests for the one-shot COPIFT analysis API."""
+
+import pytest
+
+from repro.copift.analyze import analyze
+from repro.copift.dfg import DepKind
+from tests.conftest import FIG1B_ASM
+
+
+class TestAnalyzeFig1:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        return analyze(FIG1B_ASM, input_buffers={"x": 8},
+                       output_buffers={"y": 8})
+
+    def test_phases(self, analysis):
+        assert analysis.n_phases == 3
+
+    def test_dependency_census(self, analysis):
+        counts = analysis.cross_dependency_counts
+        assert counts[DepKind.TYPE2] == 3
+        assert counts[DepKind.TYPE1] == 0
+        assert counts[DepKind.TYPE3] == 0
+
+    def test_mix_matches_fig1b(self, analysis):
+        # 10 integer + 13 FP instructions in the 23-instruction block.
+        assert analysis.baseline_mix.n_int == 10
+        assert analysis.baseline_mix.n_fp == 13
+
+    def test_expected_speedup(self, analysis):
+        # S'' = 1 + 10/13 for the single-element block.
+        assert analysis.expected_speedup == pytest.approx(1 + 10 / 13)
+
+    def test_flags(self, analysis):
+        assert not analysis.needs_issr
+        assert not analysis.needs_custom_extension
+
+    def test_max_block(self, analysis):
+        block = analysis.max_block(16 * 1024)
+        assert block % 4 == 0
+        assert analysis.plan.bytes_for_block(block) <= 16 * 1024
+
+    def test_summary(self, analysis):
+        text = analysis.summary()
+        assert "phases: 3" in text
+        assert "type-2" in text
+
+
+class TestFlagDetection:
+    def test_type1_triggers_issr_advice(self):
+        analysis = analyze("""
+            slli a1, a0, 3
+            add  a1, a2, a1
+            fld  fa0, 0(a1)
+            fmul.d fa0, fa0, fa1
+        """)
+        assert analysis.needs_issr
+        assert "ISSR" in analysis.summary()
+
+    def test_type3_triggers_extension_advice(self):
+        analysis = analyze("""
+            addi a0, a0, 1
+            fcvt.d.w fa0, a0
+            fmul.d fa0, fa0, fa1
+        """)
+        assert analysis.needs_custom_extension
+        assert "custom-1" in analysis.summary()
+
+    def test_accepts_program_objects(self, fig1b_program):
+        analysis = analyze(fig1b_program)
+        assert analysis.n_phases == 3

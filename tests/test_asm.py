@@ -1,0 +1,110 @@
+"""Assembler tests, including a property-based render/parse round trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import AsmSyntaxError, parse
+from repro.isa.instructions import OpClass, SPECS
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import FP_ABI_NAMES, INT_ABI_NAMES
+
+
+class TestParse:
+    def test_basic_block(self):
+        p = parse("""
+            # exponential inner loop
+            fld     fa3, 0(a3)
+            fmul.d  fa3, ft3, fa3   # z
+            addi    a3, a3, 8
+        """)
+        assert [i.mnemonic for i in p] == ["fld", "fmul.d", "addi"]
+        assert p[0].imm == 0
+        assert p[2].imm == 8
+
+    def test_labels_and_branches(self):
+        p = parse("""
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+        """)
+        assert p.target("loop") == 0
+        assert p[1].label == "loop"
+
+    def test_hex_immediates(self):
+        p = parse("andi a1, a0, 0x1f")
+        assert p[0].imm == 31
+
+    def test_negative_memory_offset(self):
+        p = parse("lw a0, -4(sp)")
+        assert p[0].imm == -4
+
+    def test_numeric_register_names(self):
+        p = parse("add x10, x11, x12")
+        assert p[0].int_writes[0].name == "a0"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError, match="unknown mnemonic"):
+            parse("frobnicate a0, a1")
+
+    def test_bad_operand_count(self):
+        with pytest.raises(AsmSyntaxError):
+            parse("add a0, a1")
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AsmSyntaxError, match="memory"):
+            parse("lw a0, a1")
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmSyntaxError, match="undefined label"):
+            parse("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmSyntaxError, match="defined twice"):
+            parse("x:\nx:\nnop")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AsmSyntaxError, match="line 3"):
+            parse("nop\nnop\nbogus a0")
+
+
+# ---------------------------------------------------------------------------
+# Property: render -> parse is the identity on generated programs.
+# ---------------------------------------------------------------------------
+
+_INT_REG_NAMES = st.sampled_from(INT_ABI_NAMES)
+_FP_REG_NAMES = st.sampled_from(FP_ABI_NAMES)
+_IMM = st.integers(min_value=-2048, max_value=2047)
+
+_ROUNDTRIP_MNEMONICS = sorted(
+    m for m, s in SPECS.items()
+    if s.opclass not in (OpClass.BRANCH, OpClass.JUMP, OpClass.META)
+)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(_ROUNDTRIP_MNEMONICS))
+    spec = SPECS[mnemonic]
+    b = ProgramBuilder()
+    operands = []
+    for role in spec.roles:
+        if role == "imm":
+            operands.append(draw(_IMM))
+        elif role.startswith("f"):
+            operands.append(draw(_FP_REG_NAMES))
+        else:
+            operands.append(draw(_INT_REG_NAMES))
+    return b.emit(mnemonic, *operands)
+
+
+@given(st.lists(instructions(), min_size=1, max_size=20))
+def test_render_parse_roundtrip(instrs):
+    b = ProgramBuilder()
+    for i in instrs:
+        b.append(i)
+    original = b.build()
+    reparsed = parse(original.render())
+    assert len(reparsed) == len(original)
+    for a, c in zip(original, reparsed):
+        assert a.mnemonic == c.mnemonic
+        assert a.operands == c.operands

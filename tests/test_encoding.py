@@ -1,0 +1,208 @@
+"""Binary-encoding tests, including the custom-1 opcode allocation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import ProgramBuilder, make_instruction
+from repro.isa.encoding import (
+    CUSTOM_0,
+    CUSTOM_1,
+    EncodingError,
+    OP_FP,
+    decode,
+    encode,
+    encode_program,
+)
+from repro.isa.instructions import COPIFT_REENCODINGS
+from repro.isa.registers import FP_ABI_NAMES, INT_ABI_NAMES
+
+
+class TestKnownEncodings:
+    """Spot checks against hand-assembled RV32 words."""
+
+    def test_add(self):
+        # add a0, a1, a2 = 0x00C58533
+        word = encode(make_instruction("add", "a0", "a1", "a2"))
+        assert word == 0x00C58533
+
+    def test_addi(self):
+        # addi a0, a0, 1 = 0x00150513
+        word = encode(make_instruction("addi", "a0", "a0", 1))
+        assert word == 0x00150513
+
+    def test_lw(self):
+        # lw a0, 4(sp) = 0x00412503
+        word = encode(make_instruction("lw", "a0", 4, "sp"))
+        assert word == 0x00412503
+
+    def test_sw(self):
+        # sw a0, 8(sp) = 0x00A12423
+        word = encode(make_instruction("sw", "a0", 8, "sp"))
+        assert word == 0x00A12423
+
+    def test_mul(self):
+        # mul a0, a1, a2 = 0x02C58533
+        word = encode(make_instruction("mul", "a0", "a1", "a2"))
+        assert word == 0x02C58533
+
+    def test_fld(self):
+        # fld fa0, 0(a1) = 0x0005B507
+        word = encode(make_instruction("fld", "fa0", 0, "a1"))
+        assert word == 0x0005B507
+
+    def test_imm_range_checked(self):
+        with pytest.raises(EncodingError, match="12 bits"):
+            encode(make_instruction("addi", "a0", "a0", 5000))
+
+    def test_meta_not_encodable(self):
+        with pytest.raises(EncodingError):
+            encode(make_instruction("li", "a0", 7))
+
+
+class TestCustom1Allocation:
+    """Paper §II-B: copy the original encodings into custom-1."""
+
+    @pytest.mark.parametrize("original,custom",
+                             sorted(COPIFT_REENCODINGS.items()))
+    def test_opcode_moved_funct_preserved(self, original, custom):
+        fp_ops = {"frd": "fa0", "rd": "a0", "frs1": "fa1",
+                  "rs1": "a1", "frs2": "fa2"}
+        from repro.isa import spec as get_spec
+
+        def build(mnemonic):
+            s = get_spec(mnemonic)
+            return make_instruction(
+                mnemonic,
+                *[("fa0" if r in ("frd",) else
+                   "a0" if r == "rd" else
+                   "fa1" if r == "frs1" else
+                   "a1" if r == "rs1" else "fa2")
+                  for r in s.roles])
+
+        orig_word = encode(build(original))
+        custom_word = encode(build(custom))
+        assert orig_word & 0x7F == OP_FP
+        assert custom_word & 0x7F == CUSTOM_1
+        # funct7 and funct3 fields are copied verbatim.
+        assert orig_word >> 25 == custom_word >> 25
+        assert (orig_word >> 12) & 0x7 == (custom_word >> 12) & 0x7
+
+    def test_custom_instructions_roundtrip(self):
+        for custom in COPIFT_REENCODINGS.values():
+            from repro.isa import spec as get_spec
+            s = get_spec(custom)
+            operands = ["fa0", "fa1", "fa2"][:len(s.roles)]
+            instr = make_instruction(custom, *operands)
+            decoded = decode(encode(instr))
+            assert decoded.mnemonic == custom
+            assert decoded.operands == instr.operands
+
+
+class TestSnitchExtensions:
+    def test_frep_encoding(self):
+        word = encode(make_instruction("frep.o", "t0", 10))
+        assert word & 0x7F == CUSTOM_0
+        decoded = decode(word)
+        assert decoded.mnemonic == "frep.o"
+        assert decoded.imm == 10
+
+    def test_scfgwi_roundtrip(self):
+        instr = make_instruction("scfgwi", "t1", 0xA2)
+        decoded = decode(encode(instr))
+        assert decoded.mnemonic == "scfgwi"
+        assert decoded.imm == 0xA2
+
+    def test_ssr_toggle_roundtrip(self):
+        for m in ("ssr.enable", "ssr.disable"):
+            assert decode(encode(make_instruction(m))).mnemonic == m
+
+    def test_dma_copy_roundtrip(self):
+        instr = make_instruction("dma.copy", "a0", "a1", "a2")
+        decoded = decode(encode(instr))
+        assert decoded.mnemonic == "dma.copy"
+        assert decoded.operands == instr.operands
+
+
+class TestProgramEncoding:
+    def test_branch_displacement(self):
+        b = ProgramBuilder()
+        b.label("loop")
+        b.addi("a0", "a0", -1)
+        b.bnez("a0", "loop") if False else b.bne("a0", "zero", "loop")
+        words = encode_program(b.build())
+        # bne at index 1 branching to index 0: displacement -4.
+        word = words[1]
+        imm12 = (word >> 31) & 1
+        imm11 = (word >> 7) & 1
+        imm10_5 = (word >> 25) & 0x3F
+        imm4_1 = (word >> 8) & 0xF
+        displacement = (imm12 << 12 | imm11 << 11 | imm10_5 << 5
+                        | imm4_1 << 1)
+        if displacement >= 1 << 12:
+            displacement -= 1 << 13
+        assert displacement == -4
+
+    def test_whole_kernel_body_encodes(self, fig1b_program):
+        words = encode_program(fig1b_program)
+        assert len(words) == len(fig1b_program)
+        assert all(0 <= w < (1 << 32) for w in words)
+
+
+# ---------------------------------------------------------------------------
+# Property: encode -> decode round trip
+# ---------------------------------------------------------------------------
+
+_RT_RR = ["add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+          "slt", "sltu", "mul", "mulh", "mulhu", "div", "remu"]
+_RT_RI = ["addi", "andi", "ori", "xori", "slti"]
+_RT_FP = ["fadd.d", "fsub.d", "fmul.d", "fsgnj.d", "fmin.d"]
+_RT_FMA = ["fmadd.d", "fmsub.d", "fnmadd.d", "fnmsub.d"]
+
+_IREG = st.sampled_from(INT_ABI_NAMES)
+_FREG = st.sampled_from(FP_ABI_NAMES)
+
+
+@settings(max_examples=200)
+@given(st.data())
+def test_encode_decode_roundtrip(data):
+    kind = data.draw(st.integers(min_value=0, max_value=5))
+    if kind == 0:
+        instr = make_instruction(data.draw(st.sampled_from(_RT_RR)),
+                                 data.draw(_IREG), data.draw(_IREG),
+                                 data.draw(_IREG))
+    elif kind == 1:
+        instr = make_instruction(
+            data.draw(st.sampled_from(_RT_RI)), data.draw(_IREG),
+            data.draw(_IREG),
+            data.draw(st.integers(min_value=-2048, max_value=2047)))
+    elif kind == 2:
+        mnemonic = data.draw(st.sampled_from(["lw", "sw", "fld", "fsd"]))
+        reg = data.draw(_FREG) if mnemonic in ("fld", "fsd") \
+            else data.draw(_IREG)
+        instr = make_instruction(
+            mnemonic, reg,
+            data.draw(st.integers(min_value=-2048, max_value=2047)),
+            data.draw(_IREG))
+    elif kind == 3:
+        instr = make_instruction(data.draw(st.sampled_from(_RT_FP)),
+                                 data.draw(_FREG), data.draw(_FREG),
+                                 data.draw(_FREG))
+    elif kind == 4:
+        instr = make_instruction(data.draw(st.sampled_from(_RT_FMA)),
+                                 data.draw(_FREG), data.draw(_FREG),
+                                 data.draw(_FREG), data.draw(_FREG))
+    else:
+        from repro.isa import spec as get_spec
+        mnemonic = data.draw(st.sampled_from(
+            ["fcvt.d.w", "fcvt.w.d", "flt.d", "fclass.d"]))
+        operands = []
+        for role in get_spec(mnemonic).roles:
+            if role.startswith("f"):
+                operands.append(data.draw(_FREG))
+            else:
+                operands.append(data.draw(_IREG))
+        instr = make_instruction(mnemonic, *operands)
+
+    decoded = decode(encode(instr))
+    assert decoded.mnemonic == instr.mnemonic
+    assert decoded.operands == instr.operands

@@ -1,0 +1,87 @@
+"""Energy-model tests: arithmetic, breakdowns, and the paper's effects."""
+
+import pytest
+
+from repro.energy import EnergyModel, EnergyParams, PowerReport
+from repro.sim.counters import Counters
+
+
+def _counters(**kwargs) -> Counters:
+    c = Counters()
+    for key, value in kwargs.items():
+        setattr(c, key, value)
+    return c
+
+
+class TestArithmetic:
+    def test_power_is_energy_over_time(self):
+        model = EnergyModel(EnergyParams(constant_mw=10.0,
+                                         dma_idle_mw=0.0))
+        report = model.report(_counters(int_alu_ops=1000), cycles=1000)
+        expected_dynamic = 1000 * model.params.int_alu_pj
+        assert report.dynamic_energy_pj == pytest.approx(expected_dynamic)
+        assert report.power_mw == pytest.approx(
+            10.0 + expected_dynamic / 1000)
+
+    def test_zero_cycles(self):
+        model = EnergyModel()
+        report = model.report(Counters(), cycles=0)
+        assert report.power_mw == 0.0
+
+    def test_breakdown_sums_to_dynamic(self):
+        model = EnergyModel()
+        c = _counters(int_alu_ops=10, fp_fmas=5, ssr_reads=3,
+                      icache_l0_misses=7, int_loads=2)
+        report = model.report(c, cycles=100)
+        assert sum(report.breakdown_pj.values()) \
+            == pytest.approx(report.dynamic_energy_pj)
+
+    def test_energy_units(self):
+        model = EnergyModel(EnergyParams(constant_mw=1.0,
+                                         dma_idle_mw=0.0))
+        report = model.report(Counters(), cycles=1_000_000)
+        assert report.energy_uj == pytest.approx(1.0)  # 1 mW x 1 ms
+
+
+class TestPaperEffects:
+    def test_dma_active_raises_power(self):
+        model = EnergyModel()
+        idle = model.report(Counters(), cycles=1000, dma_active=False)
+        active = model.report(Counters(), cycles=1000, dma_active=True)
+        assert active.power_mw > idle.power_mw
+
+    def test_dma_bytes_counted_only_when_active(self):
+        model = EnergyModel()
+        active = model.report(Counters(), cycles=1000, dma_active=True,
+                              dma_bytes=10_000)
+        inactive = model.report(Counters(), cycles=1000,
+                                dma_active=False, dma_bytes=10_000)
+        assert active.breakdown_pj["dma"] > 0
+        assert inactive.breakdown_pj["dma"] == 0
+
+    def test_l0_miss_costs_order_of_magnitude_more(self):
+        p = EnergyParams()
+        assert p.icache_miss_pj > 8 * p.icache_hit_pj
+
+    def test_sequencer_issue_cheaper_than_a_miss(self):
+        p = EnergyParams()
+        assert p.sequencer_issue_pj <= p.icache_hit_pj
+        assert p.sequencer_issue_pj < p.icache_miss_pj / 5
+
+    def test_icache_thrashing_dominates(self):
+        """The §III-B effect: a thrashing loop pays more I-fetch energy
+        than a captured one, all else equal."""
+        model = EnergyModel()
+        thrash = model.report(
+            _counters(icache_l0_misses=10_000), cycles=10_000)
+        captured = model.report(
+            _counters(icache_l0_hits=10_000), cycles=10_000)
+        assert thrash.dynamic_energy_pj > 5 * captured.dynamic_energy_pj
+
+    def test_constant_power_dominates_typical_activity(self):
+        """'Power consumption is dominated by constant components.'"""
+        model = EnergyModel()
+        c = _counters(int_alu_ops=700, int_loads=150, fp_fmas=300,
+                      icache_l0_hits=1000)
+        report = model.report(c, cycles=1000)
+        assert report.constant_energy_pj > report.dynamic_energy_pj

@@ -1,0 +1,49 @@
+"""Every example script must run end to end and print its results."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "speedup" in out
+    assert "energy improvement" in out
+
+
+def test_softmax_llm():
+    out = run_example("softmax_llm.py")
+    assert "softmax" in out
+    assert "verified against NumPy" in out
+
+
+def test_montecarlo_pi():
+    out = run_example("montecarlo_pi.py")
+    assert "pi ~ 3.1" in out
+    assert "WB-port stalls" in out
+
+
+def test_custom_kernel_copift():
+    out = run_example("custom_kernel_copift.py")
+    assert "Step 1" in out
+    assert "phase 2" in out
+    assert "2.21x" in out  # the paper's S' for expf
+
+
+def test_pipeline_timeline():
+    out = run_example("pipeline_timeline.py")
+    assert "<seq" in out
+    assert "dual-issue cycles" in out

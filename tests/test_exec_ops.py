@@ -1,0 +1,180 @@
+"""Functional-semantics tests: integer ALU, multiplies, FP operations.
+
+Integer operations are checked against big-integer references under
+hypothesis; FP value functions against Python/NumPy oracles, including
+the paper's load-bearing bit tricks (SHIFT rounding, cross-RF payload
+round trips through the custom-1 instructions).
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import ProgramBuilder
+from repro.sim import Machine
+from repro.sim.exec_ops import (
+    FP_COMPUTE,
+    FP_TO_INT,
+    bits_to_f64,
+    f64_to_bits,
+    fclass_d,
+    s32,
+    u32,
+)
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_rr(mnemonic: str, a: int, b: int) -> int:
+    m = Machine()
+    m.iregs[11] = a
+    m.iregs[12] = b
+    builder = ProgramBuilder()
+    builder.emit(mnemonic, "a0", "a1", "a2")
+    m.run(builder.build())
+    return m.iregs[10]
+
+
+class TestIntegerALU:
+    @given(U32, U32)
+    def test_add_wraps(self, a, b):
+        assert run_rr("add", a, b) == (a + b) & 0xFFFFFFFF
+
+    @given(U32, U32)
+    def test_sub_wraps(self, a, b):
+        assert run_rr("sub", a, b) == (a - b) & 0xFFFFFFFF
+
+    @given(U32, U32)
+    def test_sltu(self, a, b):
+        assert run_rr("sltu", a, b) == int(a < b)
+
+    @given(U32, U32)
+    def test_slt_signed(self, a, b):
+        assert run_rr("slt", a, b) == int(s32(a) < s32(b))
+
+    @given(U32, st.integers(min_value=0, max_value=31))
+    def test_shifts(self, a, sh):
+        assert run_rr("sll", a, sh) == (a << sh) & 0xFFFFFFFF
+        assert run_rr("srl", a, sh) == a >> sh
+        assert run_rr("sra", a, sh) == (s32(a) >> sh) & 0xFFFFFFFF
+
+    @given(U32, U32)
+    def test_mul_low(self, a, b):
+        assert run_rr("mul", a, b) == (a * b) & 0xFFFFFFFF
+
+    @given(U32, U32)
+    def test_mulhu(self, a, b):
+        assert run_rr("mulhu", a, b) == (a * b) >> 32
+
+    @given(U32, U32)
+    def test_mulh_signed(self, a, b):
+        assert run_rr("mulh", a, b) == ((s32(a) * s32(b)) >> 32) \
+            & 0xFFFFFFFF
+
+    def test_div_by_zero(self):
+        assert run_rr("div", 100, 0) == 0xFFFFFFFF
+        assert run_rr("divu", 100, 0) == 0xFFFFFFFF
+        assert run_rr("rem", 100, 0) == 100
+
+    def test_div_overflow(self):
+        int_min = 0x80000000
+        minus_one = 0xFFFFFFFF
+        assert run_rr("div", int_min, minus_one) == int_min
+        assert run_rr("rem", int_min, minus_one) == 0
+
+    @given(U32, U32)
+    def test_div_matches_c_truncation(self, a, b):
+        if b == 0 or (s32(a) == -(1 << 31) and s32(b) == -1):
+            return
+        assert run_rr("div", a, b) == u32(int(math.trunc(s32(a) / s32(b))))
+
+
+class TestFPValueFunctions:
+    def test_fmadd_is_unfused(self):
+        f = FP_COMPUTE["fmadd.d"]
+        a, b, c = 1.1, 2.2, 3.3
+        assert f(a, b, c) == a * b + c
+
+    def test_fsgnj_family(self):
+        assert FP_COMPUTE["fsgnj.d"](3.0, -1.0) == -3.0
+        assert FP_COMPUTE["fsgnjn.d"](3.0, -1.0) == 3.0
+        assert FP_COMPUTE["fsgnjx.d"](-3.0, -1.0) == 3.0
+        assert FP_COMPUTE["fsgnjx.d"](-3.0, 1.0) == -3.0
+
+    def test_fcvt_w_d_truncates_and_saturates(self):
+        f = FP_TO_INT["fcvt.w.d"]
+        assert f(2.9) == 2
+        assert f(-2.9) == u32(-2)
+        assert f(1e300) == 0x7FFFFFFF
+        assert f(-1e300) == 0x80000000
+        assert f(float("nan")) == 0x7FFFFFFF
+
+    def test_fcvt_wu_d_clamps_negative(self):
+        f = FP_TO_INT["fcvt.wu.d"]
+        assert f(-1.5) == 0
+        assert f(4.9) == 4
+        assert f(2.0 ** 33) == 0xFFFFFFFF
+
+    def test_comparisons(self):
+        assert FP_TO_INT["flt.d"](1.0, 2.0) == 1
+        assert FP_TO_INT["fle.d"](2.0, 2.0) == 1
+        assert FP_TO_INT["feq.d"](2.0, 2.0) == 1
+        assert FP_TO_INT["flt.d"](float("nan"), 1.0) == 0
+
+    def test_fclass(self):
+        assert fclass_d(float("-inf")) == 1 << 0
+        assert fclass_d(-1.5) == 1 << 1
+        assert fclass_d(-0.0) == 1 << 3
+        assert fclass_d(0.0) == 1 << 4
+        assert fclass_d(1.5) == 1 << 6
+        assert fclass_d(float("inf")) == 1 << 7
+        assert fclass_d(float("nan")) == 1 << 9
+        assert fclass_d(5e-324) == 1 << 5       # subnormal
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_bits_roundtrip(self, x):
+        assert bits_to_f64(f64_to_bits(x)) == x
+
+
+class TestCopiftCustomSemantics:
+    """The custom-1 re-encodings operate entirely on FP payloads."""
+
+    @given(U32)
+    def test_cfcvt_d_w_reads_low_word(self, word):
+        # An integer stored in the low word of a streamed slot arrives
+        # as a subnormal-double payload; the conversion must see the
+        # two's-complement integer.
+        payload = bits_to_f64(word)
+        assert FP_COMPUTE["cfcvt.d.w"](payload) == float(s32(word))
+
+    @given(U32)
+    def test_cfcvt_d_wu_reads_low_word(self, word):
+        payload = bits_to_f64(word)
+        assert FP_COMPUTE["cfcvt.d.wu"](payload) == float(word)
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_cfcvt_w_d_payload_roundtrip(self, k):
+        # Convert-to-int leaves the int32 bit pattern in the low word,
+        # exactly what an integer-thread lw will read after the spill.
+        result = FP_COMPUTE["cfcvt.w.d"](float(k))
+        assert f64_to_bits(result) & 0xFFFFFFFF == u32(k)
+
+    def test_cf_comparisons_produce_float_flags(self):
+        assert FP_COMPUTE["cflt.d"](1.0, 2.0) == 1.0
+        assert FP_COMPUTE["cflt.d"](2.0, 1.0) == 0.0
+        assert FP_COMPUTE["cfeq.d"](2.0, 2.0) == 1.0
+        assert FP_COMPUTE["cfle.d"](2.0, 2.0) == 1.0
+
+
+class TestShiftTrick:
+    """The glibc expf rounding idiom must work bit-exactly."""
+
+    @given(st.floats(min_value=-1e5, max_value=1e5))
+    def test_shift_rounding_extracts_nearest_int(self, z):
+        shift = 1.5 * 2.0 ** 52
+        kd = z + shift
+        low = f64_to_bits(kd) & 0xFFFFFFFF
+        k = s32(low)
+        assert abs(k - z) <= 0.5 + 1e-9

@@ -1,0 +1,172 @@
+"""FREP sequencer tests: dual-issue semantics and hardware constraints."""
+
+import numpy as np
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.sim import (
+    Allocator, CoreConfig, Machine, Memory, SimulationError,
+)
+from repro.sim.ssr import (
+    F_BOUND0, F_RPTR, F_STATUS, F_STRIDE0, F_WPTR, encode_cfg_imm,
+)
+
+
+def _stream_setup(b, n, xa, ya):
+    def cfg(ssr, field, value):
+        b.li("t0", value)
+        b.scfgwi("t0", encode_cfg_imm(field, ssr))
+    cfg(0, F_STATUS, 1)
+    cfg(0, F_BOUND0, n - 1)
+    cfg(0, F_STRIDE0, 8)
+    cfg(0, F_RPTR, xa)
+    cfg(1, F_STATUS, 1)
+    cfg(1, F_BOUND0, n - 1)
+    cfg(1, F_STRIDE0, 8)
+    cfg(1, F_WPTR, ya)
+    b.ssr_enable()
+
+
+def _vector_scale(n: int) -> tuple[Machine, ProgramBuilder, int, int]:
+    mem = Memory()
+    alloc = Allocator(mem)
+    x = np.arange(n, dtype=np.float64)
+    xa = alloc.alloc_array("x", x)
+    ya = alloc.alloc("y", 8 * n)
+    b = ProgramBuilder()
+    _stream_setup(b, n, xa, ya)
+    b.li("t1", n - 1)
+    b.frep_o("t1", 1)
+    b.fmul_d("ft1", "ft0", "fa1")
+    b.ssr_disable()
+    m = Machine(memory=mem)
+    m.fregs[11] = 3.0
+    return m, b, xa, ya
+
+
+class TestExecution:
+    def test_functional_repetition(self):
+        m, b, _, ya = _vector_scale(16)
+        m.run(b.build())
+        np.testing.assert_array_equal(
+            m.memory.read_array(ya, np.float64, 16),
+            np.arange(16) * 3.0)
+
+    def test_sequencer_issues_replays(self):
+        m, b, _, _ = _vector_scale(16)
+        result = m.run(b.build())
+        assert result.counters.fp_issued == 16
+        assert result.counters.sequencer_issued == 15
+        assert result.counters.fp_dispatched == 1
+
+    def test_replays_cost_no_fetches(self):
+        m, b, _, _ = _vector_scale(16)
+        result = m.run(b.build())
+        fetches = (result.counters.icache_l0_hits
+                   + result.counters.icache_l0_misses)
+        # Setup + frep + one body dispatch: no fetch per replay.
+        assert fetches < 25
+
+    def test_reps_from_register(self):
+        """frep.o rs1, n runs (rs1+1) total iterations."""
+        m, b, _, ya = _vector_scale(4)
+        m.run(b.build())
+        assert m.memory.read_f64(ya + 24) == 9.0
+
+    def test_dual_issue_overlap(self):
+        """Integer work after the FREP runs concurrently with replays."""
+        n = 64
+        mem = Memory()
+        alloc = Allocator(mem)
+        x = np.ones(n)
+        xa = alloc.alloc_array("x", x)
+        ya = alloc.alloc("y", 8 * n)
+        b = ProgramBuilder()
+        _stream_setup(b, n, xa, ya)
+        b.li("t1", n - 1)
+        b.mark("par_start")
+        b.frep_o("t1", 1)
+        b.fadd_d("ft1", "ft0", "fa1")
+        for _ in range(60):
+            b.addi("a0", "a0", 1)
+        b.mark("par_end")
+        b.ssr_disable()
+        m = Machine(memory=mem)
+        result = m.run(b.build())
+        region = result.region("par")
+        # 64 FP + 62 int issues in far fewer than 126 cycles.
+        assert region.counters.fp_issued == 64
+        assert region.cycles < 100
+        assert region.ipc > 1.2
+
+
+class TestConstraints:
+    def test_body_too_large(self):
+        config = CoreConfig(frep_buffer_size=4)
+        b = ProgramBuilder()
+        b.li("t1", 3)
+        b.frep_o("t1", 5)
+        for _ in range(5):
+            b.fadd_d("fa0", "fa0", "fa1")
+        m = Machine(config=config)
+        with pytest.raises(SimulationError, match="sequencer buffer"):
+            m.run(b.build())
+
+    def test_int_instruction_in_body_rejected(self):
+        b = ProgramBuilder()
+        b.li("t1", 3)
+        b.frep_o("t1", 1)
+        b.addi("a0", "a0", 1)
+        m = Machine()
+        with pytest.raises(SimulationError, match="non-FP instruction"):
+            m.run(b.build())
+
+    def test_cross_rf_instruction_in_body_rejected(self):
+        """fld inside FREP would re-read a stale integer base — this is
+        exactly what SSRs and the custom-1 extension exist to avoid."""
+        b = ProgramBuilder()
+        b.li("t1", 3)
+        b.frep_o("t1", 1)
+        b.fld("fa0", 0, "a1")
+        m = Machine()
+        with pytest.raises(SimulationError, match="integer RF"):
+            m.run(b.build())
+
+    def test_custom_extension_allowed_in_body(self):
+        """cfcvt/cflt work under FREP — the paper's §II-B motivation."""
+        n = 4
+        mem = Memory()
+        alloc = Allocator(mem)
+        raw = np.zeros(n, dtype=np.uint64)
+        raw[:] = [5, 6, 7, 8]          # ints in low words
+        xa = alloc.alloc_array("x", raw)
+        ya = alloc.alloc("y", 8 * n)
+        b = ProgramBuilder()
+        _stream_setup(b, n, xa, ya)
+        b.li("t1", n - 1)
+        b.frep_o("t1", 2)
+        b.cfcvt_d_w("fa0", "ft0")
+        b.fadd_d("ft1", "fa0", "fa0")
+        b.ssr_disable()
+        m = Machine(memory=mem)
+        m.run(b.build())
+        np.testing.assert_array_equal(
+            mem.read_array(ya, np.float64, n), [10.0, 12.0, 14.0, 16.0])
+
+    def test_empty_body_rejected(self):
+        b = ProgramBuilder()
+        b.li("t1", 3)
+        b.frep_o("t1", 0)
+        b.nop()
+        m = Machine()
+        with pytest.raises(SimulationError, match="1 instruction"):
+            m.run(b.build())
+
+    def test_body_past_program_end(self):
+        b = ProgramBuilder()
+        b.li("t1", 3)
+        b.frep_o("t1", 2)
+        b.fadd_d("fa0", "fa0", "fa1")
+        m = Machine()
+        with pytest.raises(SimulationError, match="program end"):
+            m.run(b.build())

@@ -1,0 +1,110 @@
+"""Unit tests for the instruction-set specification table."""
+
+import pytest
+
+from repro.isa.instructions import (
+    COPIFT_REENCODINGS,
+    OpClass,
+    SPECS,
+    Thread,
+    spec,
+)
+
+_VALID_ROLES = {"rd", "rs1", "rs2", "rs3", "frd", "frs1", "frs2", "frs3",
+                "imm", "label"}
+
+
+class TestTableInvariants:
+    def test_every_spec_has_valid_roles(self):
+        for mnemonic, s in SPECS.items():
+            for role in s.roles:
+                assert role in _VALID_ROLES, (mnemonic, role)
+
+    def test_mnemonic_matches_key(self):
+        for mnemonic, s in SPECS.items():
+            assert s.mnemonic == mnemonic
+
+    def test_loads_have_mem_base(self):
+        for s in SPECS.values():
+            if s.is_load or s.is_store:
+                assert s.mem_base_role is not None, s.mnemonic
+                assert s.mem_base_role in s.roles, s.mnemonic
+
+    def test_int_thread_never_uses_fp_roles(self):
+        for s in SPECS.values():
+            if s.thread is Thread.INT:
+                assert not any(r.startswith("f") for r in s.roles), \
+                    s.mnemonic
+
+    def test_branches_have_labels(self):
+        for s in SPECS.values():
+            if s.opclass is OpClass.BRANCH:
+                assert "label" in s.roles, s.mnemonic
+
+
+class TestThreadClassification:
+    def test_integer_instructions(self):
+        for m in ("add", "lw", "sw", "mul", "bne", "scfgwi"):
+            assert spec(m).thread is Thread.INT
+
+    def test_fp_instructions(self):
+        for m in ("fadd.d", "fmadd.d", "fld", "fsd", "fcvt.d.w",
+                  "flt.d", "cflt.d"):
+            assert spec(m).thread is Thread.FP
+
+    def test_frep_is_int_issued(self):
+        # frep.o itself is fetched/issued by the integer core.
+        assert spec("frep.o").thread is Thread.INT
+
+
+class TestCrossRF:
+    """The cross-RF set is exactly the paper's Type 1/2/3 sources."""
+
+    def test_fp_loadstores_are_cross(self):
+        for m in ("fld", "fsd", "flw", "fsw"):
+            assert spec(m).is_cross_rf, m
+
+    def test_conversions_are_cross(self):
+        for m in ("fcvt.d.w", "fcvt.w.d", "fcvt.d.wu", "fcvt.wu.d",
+                  "fmv.x.w", "fmv.w.x"):
+            assert spec(m).is_cross_rf, m
+
+    def test_comparisons_are_cross(self):
+        for m in ("feq.d", "flt.d", "fle.d", "fclass.d"):
+            assert spec(m).is_cross_rf, m
+
+    def test_pure_fp_is_not_cross(self):
+        for m in ("fadd.d", "fmul.d", "fmadd.d", "fsgnj.d", "fmv.d"):
+            assert not spec(m).is_cross_rf, m
+
+    def test_int_instructions_are_not_cross(self):
+        for m in ("add", "lw", "mul"):
+            assert not spec(m).is_cross_rf, m
+
+    def test_copift_reencodings_eliminate_cross_rf(self):
+        """The whole point of the custom-1 extension (paper §II-B)."""
+        for original, custom in COPIFT_REENCODINGS.items():
+            assert spec(original).is_cross_rf, original
+            assert not spec(custom).is_cross_rf, custom
+            assert spec(custom).extension == "xcopift"
+
+    def test_reencodings_cover_paper_list(self):
+        # fcvt.w[u].d, fcvt.d.w[u], feq.d, flt.d, fle.d, fclass.d
+        assert set(COPIFT_REENCODINGS) == {
+            "fcvt.w.d", "fcvt.wu.d", "fcvt.d.w", "fcvt.d.wu",
+            "feq.d", "flt.d", "fle.d", "fclass.d",
+        }
+
+
+class TestLookup:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(KeyError, match="unknown mnemonic"):
+            spec("vadd.vv")
+
+    def test_extension_tags(self):
+        assert spec("add").extension == "rv32i"
+        assert spec("mul").extension == "rv32m"
+        assert spec("fadd.d").extension == "rv32d"
+        assert spec("frep.o").extension == "xfrep"
+        assert spec("scfgwi").extension == "xssr"
+        assert spec("dma.copy").extension == "xdma"

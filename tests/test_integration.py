@@ -1,0 +1,113 @@
+"""Cross-cutting integration and invariant tests.
+
+These check properties that span the whole stack: timing configuration
+must never change functional results, counters must be internally
+consistent, and the full kernel matrix must verify under non-default
+microarchitectures.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.registry import KERNELS
+from repro.sim import CoreConfig, Machine
+from repro.isa.instructions import OpClass
+
+
+#: A few deliberately weird-but-legal microarchitectures.
+WEIRD_CONFIGS = [
+    CoreConfig(fpss_queue_depth=1, taken_branch_penalty=3),
+    CoreConfig(model_int_wb_hazard=False, model_l0_icache=False),
+    CoreConfig(ssr_fill_latency=9, fp_response_latency=4),
+]
+
+
+@pytest.mark.parametrize("config_index",
+                         range(len(WEIRD_CONFIGS)))
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_timing_config_never_changes_results(name, config_index):
+    """The timing model is observability only: any configuration must
+    produce bit-identical architectural results (each kernel's verify()
+    checks against its golden model)."""
+    config = WEIRD_CONFIGS[config_index]
+    kernel_def = KERNELS[name]
+    kernel_def.build_baseline(128).run(config=config)
+    kernel_def.build_copift(128, block=32 if name not in (
+        "pi_lcg", "poly_lcg", "pi_xoshiro128p", "poly_xoshiro128p")
+        else 32).run(config=config)
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_counters_consistent(name):
+    """fp_issued = dispatched + sequencer replays; instruction counts
+    equal fetch counts on the integer side."""
+    kernel_def = KERNELS[name]
+    result, _ = kernel_def.build_copift(256, block=32).run(check=False)
+    c = result.counters
+    assert c.fp_issued == c.fp_dispatched + c.sequencer_issued
+    fetches = c.icache_l0_hits + c.icache_l0_misses
+    # Every int instruction and every FP dispatch consumed one fetch.
+    assert fetches == c.int_issued + c.fp_dispatched
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_region_nested_in_total(name):
+    kernel_def = KERNELS[name]
+    result, _ = kernel_def.build_baseline(128).run(check=False)
+    region = result.region("main")
+    assert region.cycles <= result.cycles
+    assert region.counters.int_issued <= result.counters.int_issued
+
+
+@pytest.mark.parametrize("name", list(KERNELS))
+def test_activity_counts_cover_issues(name):
+    """Per-class activity counters must sum to the issue counts."""
+    kernel_def = KERNELS[name]
+    result, _ = kernel_def.build_copift(256, block=32).run(check=False)
+    c = result.counters
+    int_activity = (c.int_alu_ops + c.int_mul_ops + c.int_loads
+                    + c.int_stores + c.branches + c.csr_ops)
+    fp_activity = (c.fp_adds + c.fp_muls + c.fp_fmas + c.fp_divs
+                   + c.fp_cmps + c.fp_cvts + c.fp_mvs + c.fp_loads
+                   + c.fp_stores)
+    assert int_activity == c.int_issued
+    assert fp_activity == c.fp_issued
+
+
+def test_speedup_is_config_sensitive_but_bounded():
+    """Dual-issue gains cannot exceed 2x from overlap alone; with SSR
+    elision the end-to-end speedup stays below S' ~ 2.2 for expf."""
+    kernel_def = KERNELS["expf"]
+    base, _ = kernel_def.build_baseline(512).run(check=False)
+    cop, _ = kernel_def.build_copift(512, block=64).run(check=False)
+    speedup = base.region("main").cycles / cop.region("main").cycles
+    assert 1.0 < speedup < 2.3
+
+
+@settings(max_examples=10, deadline=None)
+@given(queue=st.integers(min_value=1, max_value=32),
+       penalty=st.integers(min_value=0, max_value=4))
+def test_pi_lcg_hits_invariant_under_timing(queue, penalty):
+    """Property: hit counts are timing-invariant (run verifies)."""
+    config = CoreConfig(fpss_queue_depth=queue,
+                        taken_branch_penalty=penalty)
+    KERNELS["pi_lcg"].build_baseline(64).run(config=config)
+
+
+def test_frep_buffer_too_small_fails_loudly():
+    """Every COPIFT kernel needs the 16-entry sequencer buffer; an
+    8-entry machine must reject the poly kernels (14-instr bodies)."""
+    from repro.sim import SimulationError
+    config = CoreConfig(frep_buffer_size=8)
+    with pytest.raises(SimulationError, match="sequencer buffer"):
+        KERNELS["poly_lcg"].build_copift(128, block=32).run(
+            config=config)
+
+
+def test_all_kernels_scale_with_n():
+    """Cycles grow linearly in N (no superlinear artifacts)."""
+    for name, kernel_def in KERNELS.items():
+        small, _ = kernel_def.build_baseline(128).run(check=False)
+        large, _ = kernel_def.build_baseline(512).run(check=False)
+        ratio = large.region("main").cycles / small.region("main").cycles
+        assert 3.6 <= ratio <= 4.4, name

@@ -1,0 +1,115 @@
+"""expf kernel tests: functional correctness, Table-I counts, structure."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instructions import Thread
+from repro.kernels.expf import (
+    build_baseline,
+    build_copift,
+    exp_table,
+    N_TABLE,
+)
+from repro.sim import CoreConfig
+
+
+class TestTable:
+    def test_entries_reconstruct_powers(self):
+        """T[j] + (j << 47) must be the bits of 2^(j/32)."""
+        table = exp_table()
+        for j in range(N_TABLE):
+            bits = (int(table[j]) + (j << 47)) & 0xFFFFFFFFFFFFFFFF
+            value = np.uint64(bits).view(np.float64)
+            assert value == pytest.approx(2.0 ** (j / N_TABLE),
+                                          rel=1e-15)
+
+
+class TestBaseline:
+    def test_correct_results(self):
+        instance = build_baseline(64)
+        instance.run()  # verify() raises on mismatch
+
+    def test_table1_instruction_counts(self):
+        """Paper Table I: 43 integer + 52 FP per 4-element iteration."""
+        instance = build_baseline(128)
+        result, _ = instance.run()
+        region = result.region("main")
+        assert region.counters.int_issued * 4 / 128 == 43
+        assert region.counters.fp_issued * 4 / 128 == 52
+
+    def test_single_issue_ipc_below_one(self):
+        instance = build_baseline(256)
+        result, _ = instance.run()
+        assert result.region("main").ipc < 1.0
+
+    def test_requires_multiple_of_4(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            build_baseline(10)
+
+    def test_negative_and_positive_inputs(self):
+        instance = build_baseline(64, seed=123)
+        instance.run()
+
+
+class TestCopift:
+    def test_correct_results(self):
+        build_copift(256, block=32).run()
+
+    def test_correct_results_various_blocks(self):
+        for block in (16, 32, 64):
+            build_copift(192 * 2, block=block).run()
+
+    def test_dual_issue_ipc_above_one(self):
+        instance = build_copift(512, block=64)
+        result, _ = instance.run()
+        assert result.region("main").ipc > 1.2
+
+    def test_faster_than_baseline(self):
+        base_result, _ = build_baseline(512).run()
+        cop_result, _ = build_copift(512, block=64).run()
+        speedup = (base_result.region("main").cycles
+                   / cop_result.region("main").cycles)
+        assert speedup > 1.5
+
+    def test_sequencer_carries_most_fp_work(self):
+        instance = build_copift(512, block=64)
+        result, _ = instance.run()
+        c = result.region("main").counters
+        assert c.sequencer_issued > 0.9 * c.fp_issued
+
+    def test_integer_loop_fits_l0(self):
+        """The §III-B power effect requires the COPIFT integer loop to
+        fit the 64-entry L0 buffer — fetches must mostly hit."""
+        instance = build_copift(512, block=64)
+        result, _ = instance.run()
+        c = result.region("main").counters
+        assert c.icache_l0_hits > 2 * c.icache_l0_misses
+
+    def test_baseline_thrashes_l0(self):
+        """The 95-instruction baseline body cannot be captured."""
+        result, _ = build_baseline(256).run()
+        c = result.region("main").counters
+        assert c.icache_l0_hits == 0
+
+    def test_block_constraints(self):
+        with pytest.raises(ValueError, match="multiple of 4"):
+            build_copift(128, block=30)
+        with pytest.raises(ValueError, match="multiple of block"):
+            build_copift(100, block=32)
+        with pytest.raises(ValueError, match="3 blocks"):
+            build_copift(64, block=32)
+
+    def test_ssr_traffic_replaces_fp_loadstores(self):
+        instance = build_copift(512, block=64)
+        result, _ = instance.run()
+        c = result.region("main").counters
+        assert c.fp_loads == 0
+        assert c.fp_stores == 0
+        # x + t reads, ki + w + y writes, w reads.
+        assert c.ssr_reads >= 2 * 512
+        assert c.ssr_writes >= 3 * 512
+
+    def test_deterministic(self):
+        r1, _ = build_copift(256, block=32).run()
+        r2, _ = build_copift(256, block=32).run()
+        assert r1.cycles == r2.cycles

@@ -1,0 +1,142 @@
+"""Monte Carlo kernel tests: PRNG mirrors, hit counts, structure."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import ProgramBuilder
+from repro.kernels import lcg, xoshiro
+from repro.kernels.montecarlo import (
+    LCG_SPEC,
+    PI_SPEC,
+    POLY_SPEC,
+    XOSHIRO_SPEC,
+    build_baseline,
+    build_copift,
+    reference_hits,
+)
+from repro.sim import Machine
+
+ALL_KERNELS = [
+    (LCG_SPEC, PI_SPEC), (LCG_SPEC, POLY_SPEC),
+    (XOSHIRO_SPEC, PI_SPEC), (XOSHIRO_SPEC, POLY_SPEC),
+]
+
+_IDS = [f"{i.name}_{p.name}" for p, i in ALL_KERNELS]
+
+
+class TestPrngMirrors:
+    """The emitted RV32 code must match the Python reference bit-exactly."""
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_lcg_asm_matches_reference(self, seed):
+        b = ProgramBuilder()
+        lcg.emit_init(b, seed)
+        for _ in range(3):
+            lcg.emit_step(b, "s1", "s0")
+        m = Machine()
+        m.run(b.build())
+        expected = lcg.reference_sequence(seed, 3)[-1]
+        assert (m.iregs[9], m.iregs[8]) == expected  # (s1=hi, s0=lo)
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_xoshiro_asm_matches_reference(self, seed):
+        b = ProgramBuilder()
+        xoshiro.emit_init(b, seed)
+        outputs = []
+        for i in range(4):
+            xoshiro.emit_step(b, f"a{i}")
+        m = Machine()
+        m.run(b.build())
+        expected = xoshiro.reference_sequence(seed, 4)
+        assert [m.iregs[10 + i] for i in range(4)] == expected
+
+    def test_lcg_register_convention_enforced(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError, match="convention"):
+            lcg.emit_step(b, "a0", "s0")
+
+    def test_xoshiro_state_never_all_zero(self):
+        assert any(xoshiro.reference_init(0))
+
+
+class TestHitCounts:
+    @pytest.mark.parametrize("prng,integrand", ALL_KERNELS, ids=_IDS)
+    def test_baseline_exact_hits(self, prng, integrand):
+        build_baseline(prng, integrand, 256).run()  # verify() asserts
+
+    @pytest.mark.parametrize("prng,integrand", ALL_KERNELS, ids=_IDS)
+    def test_copift_exact_hits(self, prng, integrand):
+        build_copift(prng, integrand, 256, block=32).run()
+
+    def test_seed_changes_hits(self):
+        a = reference_hits(LCG_SPEC, PI_SPEC, 512, seed=1)
+        b = reference_hits(LCG_SPEC, PI_SPEC, 512, seed=2)
+        assert a != b  # overwhelmingly likely
+
+    def test_pi_estimate_statistically_sane(self):
+        n = 4096
+        hits = reference_hits(XOSHIRO_SPEC, PI_SPEC, n, seed=42)
+        estimate = 4.0 * hits / n
+        assert abs(estimate - math.pi) < 0.15
+
+    def test_poly_estimate_statistically_sane(self):
+        """hits/N -> integral of P over [-1,1] / area 2."""
+        from repro.kernels.montecarlo import POLY_COEFFS
+        n = 4096
+        hits = reference_hits(XOSHIRO_SPEC, POLY_SPEC, n, seed=42)
+        # Exact integral of sum c_k x^k over [-1, 1], divided by 2.
+        integral = sum(
+            c * ((1.0 ** (k + 1)) - ((-1.0) ** (k + 1))) / (k + 1)
+            for k, c in enumerate(POLY_COEFFS)
+        )
+        assert abs(hits / n - integral / 2) < 0.05
+
+
+class TestStructure:
+    def test_lcg_baseline_ipc_matches_paper(self):
+        """The paper's pi_lcg baseline IPC is 0.86 — the multiply
+        writeback hazards must show."""
+        result, _ = build_baseline(LCG_SPEC, PI_SPEC, 1024).run()
+        assert 0.80 <= result.region("main").ipc <= 0.92
+
+    def test_lcg_has_wb_stalls_xoshiro_does_not(self):
+        lcg_result, _ = build_baseline(LCG_SPEC, PI_SPEC, 512).run()
+        xo_result, _ = build_baseline(XOSHIRO_SPEC, PI_SPEC, 512).run()
+        lcg_stalls = lcg_result.region("main").counters.stall_wb_port
+        xo_stalls = xo_result.region("main").counters.stall_wb_port
+        assert lcg_stalls > 4 * max(xo_stalls, 1)
+
+    @pytest.mark.parametrize("prng,integrand", ALL_KERNELS, ids=_IDS)
+    def test_copift_faster(self, prng, integrand):
+        base, _ = build_baseline(prng, integrand, 1024).run()
+        cop, _ = build_copift(prng, integrand, 1024, block=64).run()
+        assert base.region("main").cycles \
+            > 1.1 * cop.region("main").cycles
+
+    def test_copift_accumulates_in_fp(self):
+        """No cross-RF responses in the COPIFT variants (the custom-1
+        extension keeps comparisons in the FP file)."""
+        instance = build_copift(LCG_SPEC, PI_SPEC, 512, block=64)
+        result, _ = instance.run()
+        assert result.counters.stall_fp_response == 0
+
+    def test_no_dma_for_monte_carlo(self):
+        instance = build_baseline(LCG_SPEC, PI_SPEC, 64)
+        assert not instance.dma_active
+        assert instance.dma_bytes == 0
+
+    def test_copift_int_loop_thrashes_l0(self):
+        """Paper §III-B: only exp/log integer loops fit the L0; the
+        MC COPIFT loops exceed 64 instructions."""
+        instance = build_copift(LCG_SPEC, PI_SPEC, 512, block=64)
+        result, _ = instance.run()
+        c = result.region("main").counters
+        assert c.icache_l0_misses > c.icache_l0_hits
+
+    def test_block_validation(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            build_copift(LCG_SPEC, PI_SPEC, 128, block=12)

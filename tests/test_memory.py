@@ -1,0 +1,128 @@
+"""Tests for the TCDM memory model and allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.memory import Allocator, Memory, MemoryError_
+
+
+class TestScalarAccess:
+    def test_u32_roundtrip(self):
+        m = Memory(1024)
+        m.write_u32(64, 0xDEADBEEF)
+        assert m.read_u32(64) == 0xDEADBEEF
+
+    def test_u32_truncates(self):
+        m = Memory(1024)
+        m.write_u32(0, 0x1_0000_0005)
+        assert m.read_u32(0) == 5
+
+    def test_u64_roundtrip(self):
+        m = Memory(1024)
+        m.write_u64(8, 0x0123456789ABCDEF)
+        assert m.read_u64(8) == 0x0123456789ABCDEF
+
+    def test_f64_roundtrip(self):
+        m = Memory(1024)
+        m.write_f64(16, -1234.5678)
+        assert m.read_f64(16) == -1234.5678
+
+    def test_little_endian_layout(self):
+        m = Memory(1024)
+        m.write_u32(0, 0x11223344)
+        assert m.read_u8(0) == 0x44
+        assert m.read_u8(3) == 0x11
+
+    def test_f64_low_word_extraction(self):
+        """The fsd/lw idiom: low 32 bits of the double's encoding."""
+        m = Memory(1024)
+        shift = 1.5 * 2.0 ** 52
+        m.write_f64(0, shift + 42.0)
+        assert m.read_u32(0) == 42
+
+    def test_out_of_range(self):
+        m = Memory(64)
+        with pytest.raises(MemoryError_):
+            m.read_u32(62)
+        with pytest.raises(MemoryError_):
+            m.write_u64(-8, 0)
+
+    def test_u16(self):
+        m = Memory(64)
+        m.write_u16(2, 0xBEEF)
+        assert m.read_u16(2) == 0xBEEF
+
+
+class TestArrays:
+    def test_write_read_roundtrip(self):
+        m = Memory(4096)
+        data = np.linspace(-1.0, 1.0, 32)
+        m.write_array(128, data)
+        np.testing.assert_array_equal(m.read_array(128, np.float64, 32),
+                                      data)
+
+    def test_uint64_arrays(self):
+        m = Memory(4096)
+        data = np.arange(16, dtype=np.uint64) * 7
+        m.write_array(0, data)
+        np.testing.assert_array_equal(m.read_array(0, np.uint64, 16),
+                                      data)
+
+    def test_read_array_is_a_copy(self):
+        m = Memory(4096)
+        m.write_array(0, np.ones(4))
+        out = m.read_array(0, np.float64, 4)
+        m.write_f64(0, 5.0)
+        assert out[0] == 1.0
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1),
+       st.integers(min_value=0, max_value=56))
+def test_u64_roundtrip_property(value, addr):
+    m = Memory(64)
+    m.write_u64(addr, value)
+    assert m.read_u64(addr) == value
+
+
+@given(st.floats(allow_nan=False))
+def test_f64_roundtrip_property(value):
+    m = Memory(16)
+    m.write_f64(0, value)
+    assert m.read_f64(0) == value
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        m = Memory(1 << 16)
+        a = Allocator(m, base=0x100)
+        first = a.alloc("a", 64)
+        second = a.alloc("b", 64)
+        assert first == 0x100
+        assert second == first + 64
+
+    def test_alignment(self):
+        m = Memory(1 << 16)
+        a = Allocator(m, base=0x100, align=8)
+        a.alloc("odd", 13)
+        second = a.alloc("aligned", 8)
+        assert second % 8 == 0
+
+    def test_duplicate_symbol(self):
+        a = Allocator(Memory(1 << 13))
+        a.alloc("x", 8)
+        with pytest.raises(ValueError, match="allocated twice"):
+            a.alloc("x", 8)
+
+    def test_exhaustion(self):
+        a = Allocator(Memory(1 << 12), base=0)
+        with pytest.raises(MemoryError_):
+            a.alloc("big", (1 << 12) + 8)
+
+    def test_alloc_array_copies_data(self):
+        m = Memory(1 << 13)
+        a = Allocator(m)
+        data = np.array([1.0, 2.0, 3.0])
+        addr = a.alloc_array("arr", data)
+        assert m.read_f64(addr + 8) == 2.0
+        assert a.address("arr") == addr

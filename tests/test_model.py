@@ -1,0 +1,96 @@
+"""Tests for the analytical model (Eqs. 1-3) against Table I's values.
+
+The paper's Table I is internally consistent: its I', S'' and S'
+columns are derivable from the instruction-count columns.  These tests
+verify our implementation reproduces every derived column from the
+paper's published counts.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.copift.model import (
+    InstructionMix,
+    KernelModel,
+    expected_ipc_gain,
+    expected_speedup,
+    expected_speedup_from_baseline,
+)
+from repro.kernels.registry import KERNELS
+
+#: Table I rows: (kernel, TI, I', S'', S') as printed in the paper.
+PAPER_TABLE1 = {
+    "expf": (0.83, 1.84, 1.83, 2.21),
+    "logf": (0.75, 1.63, 1.75, 1.60),
+    "poly_lcg": (0.55, 1.90, 1.55, 1.55),
+    "pi_lcg": (0.79, 1.78, 1.79, 1.39),
+    "poly_xoshiro128p": (0.47, 1.40, 1.47, 1.26),
+    "pi_xoshiro128p": (0.33, 1.28, 1.33, 1.14),
+}
+
+
+class TestPaperConsistency:
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE1))
+    def test_derived_columns_match_paper(self, name):
+        kernel_def = KERNELS[name]
+        model = kernel_def.paper_model()
+        ti, i_prime, s2, s1 = PAPER_TABLE1[name]
+        assert model.thread_imbalance == pytest.approx(ti, abs=0.01)
+        assert model.i_prime == pytest.approx(i_prime, abs=0.01)
+        assert model.s_double_prime == pytest.approx(s2, abs=0.01)
+        assert model.s_prime == pytest.approx(s1, abs=0.01)
+
+
+class TestEquations:
+    def test_speedup_equation_1(self):
+        base = InstructionMix(43, 52)
+        copift = InstructionMix(43, 36)
+        assert expected_speedup(base, copift) == pytest.approx(95 / 43)
+
+    def test_ipc_equation_2(self):
+        copift = InstructionMix(43, 36)
+        assert expected_ipc_gain(copift) == pytest.approx(79 / 43)
+
+    def test_equation_3_identity(self):
+        """S'' = 1 + TI via a+b = max(a,b) + min(a,b)."""
+        base = InstructionMix(44, 80)
+        direct = base.total / max(base.n_int, base.n_fp)
+        assert expected_speedup_from_baseline(base) \
+            == pytest.approx(direct)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.integers(min_value=1, max_value=500))
+    def test_s_double_prime_bounds(self, n_int, n_fp):
+        """1 <= S'' <= 2 always (perfect balance doubles throughput)."""
+        s = expected_speedup_from_baseline(InstructionMix(n_int, n_fp))
+        assert 1.0 <= s <= 2.0
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.integers(min_value=1, max_value=500))
+    def test_i_prime_bounds(self, n_int, n_fp):
+        i = expected_ipc_gain(InstructionMix(n_int, n_fp))
+        assert 1.0 <= i <= 2.0
+
+    def test_balance_maximizes_both(self):
+        balanced = InstructionMix(50, 50)
+        assert expected_speedup_from_baseline(balanced) == 2.0
+        assert expected_ipc_gain(balanced) == 2.0
+
+    def test_empty_copift_raises(self):
+        with pytest.raises(ValueError):
+            expected_speedup(InstructionMix(1, 1), InstructionMix(0, 0))
+
+    def test_zero_mix_ti(self):
+        assert InstructionMix(0, 0).thread_imbalance == 0.0
+
+
+class TestKernelModel:
+    def test_properties_delegate(self):
+        model = KernelModel(
+            name="demo",
+            base=InstructionMix(40, 60),
+            copift=InstructionMix(50, 60),
+        )
+        assert model.thread_imbalance == pytest.approx(40 / 60)
+        assert model.s_prime == pytest.approx(100 / 60)
+        assert model.i_prime == pytest.approx(110 / 60)

@@ -1,0 +1,150 @@
+"""COPIFT Step 2-3 tests: phase partitioning and reordering.
+
+The paper's Figure 1c partition is recovered exactly; property-based
+tests check the partition invariants on randomly generated mixed
+integer/FP blocks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.copift.dfg import build_dfg
+from repro.copift.partition import partition_dfg
+from repro.copift.reorder import phase_slices, reorder
+from repro.isa import ProgramBuilder, Thread
+from tests.conftest import (
+    FIG1_CUT_EDGES, FIG1_PHASE0, FIG1_PHASE1, FIG1_PHASE2,
+)
+
+
+class TestFig1Partition:
+    def test_recovers_paper_phases(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        assert len(part.phases) == 3
+        assert part.phases[0].thread is Thread.FP
+        assert part.phases[1].thread is Thread.INT
+        assert part.phases[2].thread is Thread.FP
+        assert part.phases[0].nodes == FIG1_PHASE0
+        assert part.phases[1].nodes == FIG1_PHASE1
+        assert part.phases[2].nodes == FIG1_PHASE2
+
+    def test_recovers_paper_cut_edges(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        cut = {(d.src, d.dst) for d in part.cut_edges}
+        assert cut == FIG1_CUT_EDGES
+
+    def test_validates(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        part.validate()  # must not raise
+
+    def test_forced_phase0_thread(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions),
+                             phase0_thread=Thread.FP)
+        assert part.phases[0].thread is Thread.FP
+
+
+class TestReorder:
+    def test_groups_by_phase(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        ordered = reorder(part)
+        assert len(ordered) == len(part.phase_of)
+        threads = [i.thread for i in ordered]
+        # Three homogeneous runs: FP*, INT*, FP*.
+        changes = sum(1 for a, b in zip(threads, threads[1:])
+                      if a is not b)
+        assert changes == 2
+
+    def test_phase_slices(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        slices = phase_slices(part)
+        assert slices == [(0, 10), (10, 20), (20, 23)]
+
+    def test_reorder_preserves_dependencies(self, fig1b_instructions):
+        """Every dep's producer precedes its consumer after reordering."""
+        dfg = build_dfg(fig1b_instructions)
+        part = partition_dfg(dfg)
+        ordered = reorder(part)
+        position = {id(instr): i for i, instr in enumerate(ordered)}
+        for dep in dfg.deps:
+            src = dfg.instructions[dep.src]
+            dst = dfg.instructions[dep.dst]
+            assert position[id(src)] < position[id(dst)]
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random mixed blocks.
+# ---------------------------------------------------------------------------
+
+_INT_OPS = ["addi", "slli", "andi"]
+_FP_OPS = ["fadd.d", "fmul.d"]
+
+
+@st.composite
+def mixed_blocks(draw):
+    """Random straight-line blocks mixing int and FP computation with
+    occasional cross-RF conversions (the Type 3 dependencies)."""
+    b = ProgramBuilder()
+    length = draw(st.integers(min_value=2, max_value=25))
+    for i in range(length):
+        choice = draw(st.integers(min_value=0, max_value=9))
+        int_reg = f"a{draw(st.integers(min_value=0, max_value=5))}"
+        int_src = f"a{draw(st.integers(min_value=0, max_value=5))}"
+        fp_reg = f"fa{draw(st.integers(min_value=0, max_value=5))}"
+        fp_src = f"fa{draw(st.integers(min_value=0, max_value=5))}"
+        if choice < 4:
+            b.emit(draw(st.sampled_from(_INT_OPS)), int_reg, int_src,
+                   draw(st.integers(min_value=0, max_value=31)))
+        elif choice < 8:
+            b.emit(draw(st.sampled_from(_FP_OPS)), fp_reg, fp_src,
+                   f"fa{draw(st.integers(min_value=0, max_value=5))}")
+        elif choice == 8:
+            b.fcvt_d_w(fp_reg, int_src)
+        else:
+            b.fcvt_w_d(int_reg, fp_src)
+    return b.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(mixed_blocks())
+def test_partition_invariants_on_random_blocks(program):
+    dfg = build_dfg(program.instructions)
+    part = partition_dfg(dfg)
+    part.validate()
+    # Every analysable node is assigned exactly once.
+    assigned = [n for phase in part.phases for n in phase.nodes]
+    assert len(assigned) == len(set(assigned))
+    assert set(assigned) == set(part.phase_of)
+    # Phases alternate thread types.
+    for earlier, later in zip(part.phases, part.phases[1:]):
+        assert earlier.thread is not later.thread
+
+
+@settings(max_examples=60, deadline=None)
+@given(mixed_blocks())
+def test_cut_edges_consistent(program):
+    dfg = build_dfg(program.instructions)
+    part = partition_dfg(dfg)
+    for dep in dfg.deps:
+        crossing = part.phase_of[dep.src] != part.phase_of[dep.dst]
+        assert crossing == (dep in part.cut_edges)
+
+
+def test_pure_int_block_single_phase():
+    b = ProgramBuilder()
+    b.addi("a0", "a0", 1)
+    b.addi("a1", "a0", 2)
+    part = partition_dfg(build_dfg(b.build().instructions))
+    assert len(part.phases) == 1
+    assert part.phases[0].thread is Thread.INT
+    assert part.n_cut_edges == 0
+
+
+def test_independent_threads_two_phases_no_cuts():
+    b = ProgramBuilder()
+    b.addi("a0", "a0", 1)
+    b.fadd_d("fa0", "fa1", "fa2")
+    b.addi("a1", "a0", 1)
+    b.fmul_d("fa3", "fa0", "fa0")
+    part = partition_dfg(build_dfg(b.build().instructions))
+    assert len(part.phases) == 2
+    assert part.n_cut_edges == 0

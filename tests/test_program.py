@@ -1,0 +1,183 @@
+"""Unit tests for Instruction, Program and ProgramBuilder."""
+
+import pytest
+
+from repro.isa import (
+    OpClass,
+    Program,
+    ProgramBuilder,
+    Thread,
+    make_instruction,
+    reg,
+)
+
+
+class TestMakeInstruction:
+    def test_register_resolution(self):
+        i = make_instruction("add", "a0", "a1", "a2")
+        assert i.int_writes == (reg("a0"),)
+        assert i.int_reads == (reg("a1"), reg("a2"))
+
+    def test_zero_register_excluded_from_sets(self):
+        i = make_instruction("add", "zero", "zero", "a1")
+        assert i.int_writes == ()
+        assert i.int_reads == (reg("a1"),)
+
+    def test_fp_roles(self):
+        i = make_instruction("fmadd.d", "fa0", "fa1", "fa2", "fa3")
+        assert i.fp_writes == (reg("fa0"),)
+        assert i.fp_reads == (reg("fa1"), reg("fa2"), reg("fa3"))
+
+    def test_cross_rf_operand_sets(self):
+        i = make_instruction("fcvt.d.w", "fa0", "a1")
+        assert i.fp_writes == (reg("fa0"),)
+        assert i.int_reads == (reg("a1"),)
+        j = make_instruction("flt.d", "a0", "fa1", "fa2")
+        assert j.int_writes == (reg("a0"),)
+        assert j.fp_reads == (reg("fa1"), reg("fa2"))
+
+    def test_memory_operands(self):
+        i = make_instruction("lw", "a0", 8, "a1")
+        assert i.imm == 8
+        assert i.mem_base is reg("a1")
+        j = make_instruction("fsd", "fa0", -16, "sp")
+        assert j.imm == -16
+        assert j.mem_base is reg("sp")
+        assert j.fp_reads == (reg("fa0"),)
+
+    def test_operand_count_mismatch(self):
+        with pytest.raises(ValueError, match="expects 3 operands"):
+            make_instruction("add", "a0", "a1")
+
+    def test_wrong_register_class(self):
+        with pytest.raises(ValueError):
+            make_instruction("add", "fa0", "a1", "a2")
+        with pytest.raises(ValueError):
+            make_instruction("fadd.d", "a0", "fa1", "fa2")
+
+    def test_imm_must_be_int(self):
+        with pytest.raises(TypeError, match="imm must be int"):
+            make_instruction("addi", "a0", "a1", "eight")
+
+    def test_label_must_be_str(self):
+        with pytest.raises(TypeError, match="label must be str"):
+            make_instruction("j", 42)
+
+    def test_operand_accessor(self):
+        i = make_instruction("addi", "a0", "a1", 4)
+        assert i.operand("rd") is reg("a0")
+        assert i.operand("imm") == 4
+        with pytest.raises(KeyError):
+            i.operand("frs1")
+
+
+class TestRender:
+    def test_simple(self):
+        assert make_instruction("add", "a0", "a1", "a2").render() \
+            == "add a0, a1, a2"
+
+    def test_memory_format(self):
+        assert make_instruction("lw", "a0", 4, "a1").render() \
+            == "lw a0, 4(a1)"
+        assert make_instruction("fsd", "fa0", 0, "a1").render() \
+            == "fsd fa0, 0(a1)"
+
+    def test_branch(self):
+        assert make_instruction("bne", "a0", "a1", "loop").render() \
+            == "bne a0, a1, loop"
+
+    def test_no_operands(self):
+        assert make_instruction("nop").render() == "nop"
+        assert make_instruction("ssr.enable").render() == "ssr.enable"
+
+
+class TestBuilder:
+    def test_mnemonic_methods(self):
+        b = ProgramBuilder()
+        b.addi("a0", "a0", 1)
+        b.fadd_d("fa0", "fa1", "fa2")
+        b.fcvt_d_w("fa0", "a0")
+        program = b.build()
+        assert [i.mnemonic for i in program] == \
+            ["addi", "fadd.d", "fcvt.d.w"]
+
+    def test_unknown_method_raises(self):
+        b = ProgramBuilder()
+        with pytest.raises(AttributeError):
+            b.vfredsum("v0", "v1")
+
+    def test_labels(self):
+        b = ProgramBuilder()
+        b.label("top")
+        b.addi("a0", "a0", 1)
+        b.bne("a0", "a1", "top")
+        program = b.build()
+        assert program.target("top") == 0
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="defined twice"):
+            b.label("x")
+
+    def test_undefined_branch_target_raises(self):
+        b = ProgramBuilder()
+        b.bne("a0", "a1", "nowhere")
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_end_label(self):
+        b = ProgramBuilder()
+        b.addi("a0", "a0", 1)
+        b.label("end")
+        program = b.build()
+        assert program.target("end") == 1
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder()
+        labels = {b.fresh_label() for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_position(self):
+        b = ProgramBuilder()
+        assert b.position == 0
+        b.nop()
+        assert b.position == 1
+
+
+class TestProgram:
+    def _program(self) -> Program:
+        b = ProgramBuilder("demo")
+        b.label("loop")
+        b.fld("fa3", 0, "a3")
+        b.fmul_d("fa3", "fa3", "fa4")
+        b.addi("a3", "a3", 8)
+        b.bne("a3", "a1", "loop")
+        return b.build()
+
+    def test_len_and_iteration(self):
+        p = self._program()
+        assert len(p) == 4
+        assert [i.mnemonic for i in p] == ["fld", "fmul.d", "addi", "bne"]
+
+    def test_count_by_thread(self):
+        counts = self._program().count_by_thread()
+        assert counts[Thread.INT] == 2
+        assert counts[Thread.FP] == 2
+
+    def test_count_excludes_meta(self):
+        b = ProgramBuilder()
+        b.mark("x_start")
+        b.nop()
+        b.mark("x_end")
+        counts = b.build().count_by_thread()
+        assert counts[Thread.INT] == 1
+
+    def test_render_includes_labels(self):
+        text = self._program().render()
+        assert text.splitlines()[0] == "loop:"
+        assert "fld fa3, 0(a3)" in text
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError, match="undefined label"):
+            self._program().target("nope")

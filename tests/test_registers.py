@@ -1,0 +1,83 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_REGS,
+    INT_REGS,
+    RegClass,
+    SSR_REGS,
+    fp_reg,
+    int_reg,
+    reg,
+)
+
+
+class TestLookup:
+    def test_abi_names(self):
+        assert reg("a0").index == 10
+        assert reg("t0").index == 5
+        assert reg("sp").index == 2
+        assert reg("fa0").index == 10
+        assert reg("ft11").index == 31
+
+    def test_numeric_names(self):
+        assert reg("x0") is reg("zero")
+        assert reg("x10") is reg("a0")
+        assert reg("f13") is reg("fa3")
+
+    def test_frame_pointer_alias(self):
+        assert reg("fp") is reg("s0")
+        assert reg("fp").index == 8
+
+    def test_register_passthrough(self):
+        r = reg("a5")
+        assert reg(r) is r
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown register"):
+            reg("q7")
+
+    def test_interning(self):
+        assert reg("a0") is INT_REGS[10]
+        assert reg("fa0") is FP_REGS[10]
+
+
+class TestClasses:
+    def test_int_reg_class(self):
+        assert reg("a0").cls is RegClass.INT
+        assert reg("fa0").cls is RegClass.FP
+
+    def test_int_reg_checks_class(self):
+        assert int_reg("a0").name == "a0"
+        with pytest.raises(ValueError, match="integer register"):
+            int_reg("fa0")
+
+    def test_fp_reg_checks_class(self):
+        assert fp_reg("ft0").name == "ft0"
+        with pytest.raises(ValueError, match="FP register"):
+            fp_reg("a0")
+
+    def test_zero_register(self):
+        assert reg("zero").is_zero
+        assert not reg("a0").is_zero
+        assert not reg("ft0").is_zero  # FP has no hardwired zero
+
+
+class TestTables:
+    def test_32_registers_each(self):
+        assert len(INT_REGS) == 32
+        assert len(FP_REGS) == 32
+
+    def test_indices_sequential(self):
+        for i, r in enumerate(INT_REGS):
+            assert r.index == i
+        for i, r in enumerate(FP_REGS):
+            assert r.index == i
+
+    def test_ssr_regs_are_ft0_ft1_ft2(self):
+        assert [r.name for r in SSR_REGS] == ["ft0", "ft1", "ft2"]
+
+    def test_names_unique(self):
+        names = [r.name for r in INT_REGS] + [r.name for r in FP_REGS]
+        assert len(names) == len(set(names))

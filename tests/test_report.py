@@ -1,0 +1,54 @@
+"""Report generation and CLI tests."""
+
+import pytest
+
+from repro.eval.__main__ import main
+from repro.eval.report import _md_table, generate_report
+
+
+class TestMarkdownHelpers:
+    def test_md_table(self):
+        text = _md_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(n=512, fig3_blocks=(16, 32),
+                               fig3_problems=(256, 1024))
+
+    def test_contains_all_sections(self, report):
+        assert "## Table I" in report
+        assert "## Figure 2" in report
+        assert "## Figure 3" in report
+
+    def test_all_kernels_listed(self, report):
+        for name in ("expf", "logf", "pi_lcg", "poly_lcg",
+                     "pi_xoshiro128p", "poly_xoshiro128p"):
+            assert name in report
+
+    def test_geomeans_present(self, report):
+        assert "Geomeans (measured / paper)" in report
+
+    def test_peak_block_bolded(self, report):
+        assert "**" in report
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--n", "512"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "--n", "512", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "## Table I" in out.read_text()
+
+    def test_bad_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])

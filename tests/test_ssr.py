@@ -1,0 +1,204 @@
+"""SSR model tests: configuration, affine generation, ISSR, streaming.
+
+The affine address generator is checked against a NumPy meshgrid oracle
+under hypothesis; end-to-end streaming tests run small programs on the
+machine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import ProgramBuilder
+from repro.sim import Machine, Memory, Allocator, SimulationError
+from repro.sim.ssr import (
+    F_BOUND0, F_BOUND1, F_IDX_BASE, F_IDX_CFG, F_REPEAT, F_RPTR,
+    F_STATUS, F_STRIDE0, F_STRIDE1, F_WPTR, SSR, SSRError,
+    decode_cfg_imm, encode_cfg_imm,
+)
+
+
+class TestConfigEncoding:
+    def test_roundtrip(self):
+        for field in range(14):
+            for ssr in range(3):
+                imm = encode_cfg_imm(field, ssr)
+                assert decode_cfg_imm(imm) == (field, ssr)
+
+    def test_bad_field(self):
+        with pytest.raises(ValueError):
+            encode_cfg_imm(99, 0)
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            encode_cfg_imm(F_RPTR, 16)
+
+
+def configure(ssr: SSR, bounds, strides, base, write=False, now=0):
+    ssr.write_config(F_STATUS, len(bounds), now)
+    for d, (bound, stride) in enumerate(zip(bounds, strides)):
+        ssr.write_config(F_BOUND0 + d, bound - 1, now)
+        ssr.write_config(F_STRIDE0 + d, stride & 0xFFFFFFFF, now)
+    ssr.write_config(F_WPTR if write else F_RPTR, base, now)
+
+
+def drain(ssr: SSR) -> list[int]:
+    addresses = []
+    while not ssr.exhausted:
+        addresses.append(ssr.peek_address(lambda a, s: 0))
+        ssr.advance()
+    return addresses
+
+
+class TestAffineGeneration:
+    def test_1d_contiguous(self):
+        ssr = SSR(0)
+        configure(ssr, (4,), (8,), base=0x100)
+        assert drain(ssr) == [0x100, 0x108, 0x110, 0x118]
+
+    def test_2d_fused_pattern(self):
+        """The paper's Fig. 1i fusion: inner hop between two buffers."""
+        ssr = SSR(0)
+        configure(ssr, (2, 3), (0x40, 8), base=0)
+        assert drain(ssr) == [0, 0x40, 8, 0x48, 16, 0x50]
+
+    def test_negative_stride(self):
+        ssr = SSR(0)
+        configure(ssr, (3,), (-8,), base=0x100)
+        assert drain(ssr) == [0x100, 0xF8, 0xF0]
+
+    def test_repeat_delivers_elements_twice(self):
+        ssr = SSR(0)
+        ssr.write_config(F_STATUS, 1, 0)
+        ssr.write_config(F_BOUND0, 1, 0)
+        ssr.write_config(F_STRIDE0, 8, 0)
+        ssr.write_config(F_REPEAT, 1, 0)
+        ssr.write_config(F_RPTR, 0, 0)
+        assert drain(ssr) == [0, 0, 8, 8]
+
+    @settings(max_examples=50)
+    @given(
+        bounds=st.lists(st.integers(min_value=1, max_value=4),
+                        min_size=1, max_size=4),
+        strides=st.lists(st.integers(min_value=-64, max_value=64),
+                         min_size=4, max_size=4),
+        base=st.integers(min_value=0, max_value=1 << 20),
+    )
+    def test_matches_nested_loop_oracle(self, bounds, strides, base):
+        strides = strides[:len(bounds)]
+        ssr = SSR(0)
+        configure(ssr, tuple(bounds), tuple(strides), base)
+        expected = []
+        grids = np.meshgrid(*[np.arange(b) for b in reversed(bounds)],
+                            indexing="ij")
+        # Iterate innermost dimension fastest.
+        idx = np.stack([g.ravel() for g in grids], axis=-1)
+        for row in idx:
+            offset = sum(int(i) * s
+                         for i, s in zip(reversed(row), strides))
+            expected.append(base + offset)
+        assert drain(ssr) == expected
+
+    def test_exhaustion_raises(self):
+        ssr = SSR(0)
+        configure(ssr, (2,), (8,), base=0)
+        drain(ssr)
+        with pytest.raises(SSRError, match="exhausted"):
+            ssr.peek_address(lambda a, s: 0)
+
+    def test_unarmed_access_raises(self):
+        ssr = SSR(0)
+        with pytest.raises(SSRError, match="not armed"):
+            ssr.peek_address(lambda a, s: 0)
+
+    def test_bad_dims(self):
+        ssr = SSR(0)
+        with pytest.raises(SSRError, match="dims"):
+            ssr.write_config(F_STATUS, 5, 0)
+
+
+class TestIndirect:
+    def test_issr_gathers_through_index_array(self):
+        indices = {0: 3, 4: 0, 8: 2}
+
+        def read_index(addr, size):
+            assert size == 4
+            return indices[addr]
+
+        ssr = SSR(1)
+        ssr.write_config(F_STATUS, 1, 0)
+        ssr.write_config(F_BOUND0, 2, 0)
+        ssr.write_config(F_STRIDE0, 4, 0)
+        ssr.write_config(F_IDX_CFG, 4 | (3 << 3), 0)  # u32, shift 3
+        ssr.write_config(F_IDX_BASE, 0, 0)
+        ssr.write_config(F_RPTR, 0x1000, 0)
+        assert drain_indirect(ssr, read_index) == [
+            0x1000 + (3 << 3), 0x1000, 0x1000 + (2 << 3)]
+
+
+def drain_indirect(ssr, read_index):
+    addresses = []
+    while not ssr.exhausted:
+        addresses.append(ssr.peek_address(read_index))
+        ssr.advance()
+    return addresses
+
+
+class TestMachineStreaming:
+    def _machine(self, n=8):
+        mem = Memory()
+        alloc = Allocator(mem)
+        x = np.arange(n, dtype=np.float64) + 1.0
+        xa = alloc.alloc_array("x", x)
+        ya = alloc.alloc("y", 8 * n)
+        return mem, xa, ya, x
+
+    def _cfg(self, b, ssr, field, value):
+        b.li("t0", value)
+        b.scfgwi("t0", encode_cfg_imm(field, ssr))
+
+    def test_read_and_write_streams(self):
+        mem, xa, ya, x = self._machine()
+        b = ProgramBuilder()
+        self._cfg(b, 0, F_STATUS, 1)
+        self._cfg(b, 0, F_BOUND0, 7)
+        self._cfg(b, 0, F_STRIDE0, 8)
+        self._cfg(b, 0, F_RPTR, xa)
+        self._cfg(b, 1, F_STATUS, 1)
+        self._cfg(b, 1, F_BOUND0, 7)
+        self._cfg(b, 1, F_STRIDE0, 8)
+        self._cfg(b, 1, F_WPTR, ya)
+        b.ssr_enable()
+        for _ in range(8):
+            b.fadd_d("ft1", "ft0", "fa1")   # y[i] = x[i] + 100
+        b.ssr_disable()
+        m = Machine(memory=mem)
+        m.fregs[11] = 100.0
+        result = m.run(b.build())
+        np.testing.assert_array_equal(
+            mem.read_array(ya, np.float64, 8), x + 100.0)
+        assert result.counters.ssr_reads == 8
+        assert result.counters.ssr_writes == 8
+
+    def test_disabled_ssr_regs_are_normal(self):
+        b = ProgramBuilder()
+        b.fadd_d("ft0", "ft1", "ft2")
+        m = Machine()
+        m.fregs[1] = 2.0
+        m.fregs[2] = 3.0
+        m.run(b.build())
+        assert m.fregs[0] == 5.0
+
+    def test_popping_more_than_configured_raises(self):
+        mem, xa, ya, _ = self._machine()
+        b = ProgramBuilder()
+        self._cfg(b, 0, F_STATUS, 1)
+        self._cfg(b, 0, F_BOUND0, 1)    # only 2 elements
+        self._cfg(b, 0, F_STRIDE0, 8)
+        self._cfg(b, 0, F_RPTR, xa)
+        b.ssr_enable()
+        for _ in range(3):
+            b.fmv_d("fa0", "ft0")
+        m = Machine(memory=mem)
+        with pytest.raises(SSRError, match="exhausted"):
+            m.run(b.build())

@@ -1,0 +1,175 @@
+"""COPIFT Step 6-7 tests: stream fusion, SSR assignment, FREP wrapping."""
+
+import pytest
+
+from repro.copift.frep_mapping import FrepBodyError, emit_frep
+from repro.copift.ssr_mapping import (
+    AffineStream,
+    IndirectStream,
+    assign_ssrs,
+    emit_stream_base,
+    emit_stream_shape,
+    fuse_streams,
+)
+from repro.isa import ProgramBuilder
+from repro.sim import Machine
+from repro.sim.ssr import SSR, F_RPTR
+
+
+class TestAffineStream:
+    def test_elements(self):
+        s = AffineStream("x", "read", (4, 8), (64, 8))
+        assert s.elements == 32
+        assert s.rank == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="direction"):
+            AffineStream("x", "readwrite", (4,), (8,))
+        with pytest.raises(ValueError, match="rank"):
+            AffineStream("x", "read", (4, 2), (8,))
+        with pytest.raises(ValueError, match="1-4"):
+            AffineStream("x", "read", (1, 1, 1, 1, 1), (0, 0, 0, 0, 0))
+        with pytest.raises(ValueError, match="bounds"):
+            AffineStream("x", "read", (0,), (8,))
+
+
+class TestFusion:
+    def test_fig1i_fusion(self):
+        """Two 1-D streams at constant pitch fuse into one 2-D stream."""
+        a = AffineStream("x", "read", (16,), (8,))
+        b = AffineStream("t", "read", (16,), (8,))
+        fused = fuse_streams([a, b], pitch=0x400)
+        assert fused.bounds == (16, 2)
+        assert fused.strides == (8, 0x400)
+        assert fused.elements == 32
+
+    def test_three_way_fusion(self):
+        """The paper fuses the ki, w and y write streams."""
+        streams = [AffineStream(n, "write", (64,), (8,))
+                   for n in ("ki", "w", "y")]
+        fused = fuse_streams(streams, pitch=512, name="ki+w+y")
+        assert fused.bounds == (64, 3)
+
+    def test_shape_mismatch(self):
+        a = AffineStream("x", "read", (16,), (8,))
+        b = AffineStream("t", "read", (8,), (8,))
+        with pytest.raises(ValueError, match="shape differs"):
+            fuse_streams([a, b], pitch=64)
+
+    def test_direction_mismatch(self):
+        a = AffineStream("x", "read", (16,), (8,))
+        b = AffineStream("y", "write", (16,), (8,))
+        with pytest.raises(ValueError, match="mixed direction"):
+            fuse_streams([a, b], pitch=64)
+
+    def test_rank_limit(self):
+        a = AffineStream("x", "read", (2, 2, 2, 2), (8, 16, 32, 64))
+        with pytest.raises(ValueError, match="4 dimensions"):
+            fuse_streams([a, a], pitch=128)
+
+
+class TestAssignment:
+    def test_reads_assigned_first(self):
+        streams = [
+            AffineStream("y", "write", (8,), (8,)),
+            AffineStream("x", "read", (8,), (8,)),
+        ]
+        assignment = assign_ssrs(streams)
+        assert assignment.slots[0].name == "x"
+        assert assignment.slots[1].name == "y"
+        assert assignment.slot_of("y") == 1
+
+    def test_too_many_streams(self):
+        streams = [AffineStream(f"s{i}", "read", (8,), (8,))
+                   for i in range(4)]
+        with pytest.raises(ValueError, match="stream fusion"):
+            assign_ssrs(streams)
+
+    def test_unknown_stream_lookup(self):
+        assignment = assign_ssrs(
+            [AffineStream("x", "read", (8,), (8,))])
+        with pytest.raises(KeyError):
+            assignment.slot_of("nope")
+
+
+class TestConfigEmission:
+    def test_shape_and_base_program_configures_ssr(self):
+        stream = AffineStream("x", "read", (4, 2), (8, 64))
+        b = ProgramBuilder()
+        emit_stream_shape(b, 0, stream)
+        b.li("a0", 0x1000)
+        emit_stream_base(b, 0, stream, "a0")
+        machine = Machine()
+        machine.run(b.build())
+        ssr = machine.ssrs[0]
+        assert ssr.armed and not ssr.is_write
+        assert ssr.cfg.dims == 2
+        assert ssr.cfg.bounds[:2] == [3, 1]
+        assert ssr.cfg.strides[:2] == [8, 64]
+        assert ssr.base == 0x1000
+
+    def test_indirect_emission(self):
+        stream = IndirectStream("tbl", (8,), (4,), index_symbol="idx",
+                                base_symbol="T", index_bytes=4, shift=3)
+        b = ProgramBuilder()
+        emit_stream_shape(b, 1, stream)
+        b.li("a0", 0x2000)       # index buffer
+        b.li("a1", 0x3000)       # table base
+        emit_stream_base(b, 1, stream, "a1", index_reg="a0")
+        machine = Machine()
+        machine.run(b.build())
+        ssr = machine.ssrs[1]
+        assert ssr.indirect
+        assert ssr.cfg.idx_base == 0x2000
+        assert ssr.cfg.idx_size == 4
+        assert ssr.cfg.idx_shift == 3
+
+    def test_indirect_requires_index_reg(self):
+        stream = IndirectStream("tbl", (8,), (4,), "idx", "T")
+        b = ProgramBuilder()
+        with pytest.raises(ValueError, match="index_reg"):
+            emit_stream_base(b, 1, stream, "a1")
+
+
+class TestEmitFrep:
+    def test_emits_frep_and_body(self):
+        b = ProgramBuilder()
+        b.li("t0", 7)
+        n = emit_frep(b, "t0", lambda body: body.fadd_d(
+            "fa0", "fa1", "fa2"))
+        assert n == 1
+        program = b.build()
+        assert program[1].mnemonic == "frep.o"
+        assert program[1].imm == 1
+
+    def test_rejects_oversized_body(self):
+        b = ProgramBuilder()
+
+        def body(body_builder):
+            for _ in range(17):
+                body_builder.fadd_d("fa0", "fa1", "fa2")
+
+        with pytest.raises(FrepBodyError, match="sequencer buffer"):
+            emit_frep(b, "t0", body)
+
+    def test_rejects_integer_instructions(self):
+        b = ProgramBuilder()
+        with pytest.raises(FrepBodyError, match="non-FP"):
+            emit_frep(b, "t0", lambda body: body.addi("a0", "a0", 1))
+
+    def test_rejects_cross_rf(self):
+        b = ProgramBuilder()
+        with pytest.raises(FrepBodyError, match="custom-1"):
+            emit_frep(b, "t0",
+                      lambda body: body.fcvt_d_w("fa0", "a0"))
+
+    def test_rejects_empty_body(self):
+        b = ProgramBuilder()
+        with pytest.raises(FrepBodyError, match="empty"):
+            emit_frep(b, "t0", lambda body: None)
+
+    def test_allows_custom_extension(self):
+        b = ProgramBuilder()
+        n = emit_frep(b, "t0", lambda body: body.cflt_d(
+            "fa0", "fa1", "fa2"))
+        assert n == 1

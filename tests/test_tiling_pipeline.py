@@ -1,0 +1,124 @@
+"""COPIFT Steps 4-5 tests: tiling plans, buffer replication, schedules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.copift.dfg import build_dfg
+from repro.copift.partition import partition_dfg
+from repro.copift.pipeline import (
+    buffer_rotation,
+    pipelined_schedule,
+    steady_state_range,
+)
+from repro.copift.tiling import BufferSpec, TilingPlan, plan_from_partition
+
+
+class TestBufferSpec:
+    def test_replication_rule(self):
+        """Replicas = phase distance + 1 (paper §II-A Step 5)."""
+        assert BufferSpec("ki", 0, 1).replicas == 2
+        assert BufferSpec("w", 0, 2).replicas == 3
+        assert BufferSpec("t", 1, 2).replicas == 2
+
+    def test_bytes_for_block(self):
+        assert BufferSpec("w", 0, 2).bytes_for_block(64) == 3 * 8 * 64
+
+
+class TestFig1Plan:
+    def test_paper_example_buffers(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        plan = plan_from_partition(
+            part,
+            input_buffers={"x": 8},
+            output_buffers={"y": 8},
+        )
+        # ki (0->1), t (1->2, two word-stores merged), w (0->2),
+        # plus x and y staging = 5 buffers (paper Step-4 column).
+        assert plan.buffers_step4 == 5
+        by_distance = sorted(b.replicas for b in plan.buffers)
+        # ki: 2, t: 2, x: 2, y: 2, w: 3 (the paper: "the w buffer ...
+        # must be replicated three times").
+        assert by_distance == [2, 2, 2, 2, 3]
+        assert plan.buffers_step5 == 11
+
+    def test_max_block_scaling(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        plan = plan_from_partition(part, input_buffers={"x": 8},
+                                   output_buffers={"y": 8})
+        small = plan.max_block(8 * 1024, multiple_of=4)
+        large = plan.max_block(16 * 1024, multiple_of=4)
+        assert large >= 2 * small - 4
+        assert small % 4 == 0
+        assert plan.bytes_for_block(small) <= 8 * 1024
+
+    def test_budget_too_small(self, fig1b_instructions):
+        part = partition_dfg(build_dfg(fig1b_instructions))
+        plan = plan_from_partition(part)
+        with pytest.raises(ValueError, match="cannot fit"):
+            plan.max_block(8)
+
+
+class TestSchedule:
+    def test_shape(self):
+        schedule = pipelined_schedule(n_phases=3, n_blocks=5)
+        assert len(schedule) == 5 + 3 - 1
+
+    def test_each_phase_block_pair_once(self):
+        schedule = pipelined_schedule(3, 5)
+        seen = set()
+        for macro in schedule:
+            for work in macro:
+                key = (work.phase, work.block)
+                assert key not in seen
+                seen.add(key)
+        assert seen == {(p, j) for p in range(3) for j in range(5)}
+
+    def test_skew_is_one_block_per_phase(self):
+        schedule = pipelined_schedule(3, 5)
+        for macro_index, macro in enumerate(schedule):
+            for work in macro:
+                assert work.block == macro_index - work.phase
+
+    def test_steady_state_range(self):
+        start, end = steady_state_range(3, 5)
+        schedule = pipelined_schedule(3, 5)
+        for macro_index in range(start, end):
+            assert len(schedule[macro_index]) == 3
+
+    def test_too_few_blocks_has_no_steady_state(self):
+        start, end = steady_state_range(4, 2)
+        assert start == end
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            pipelined_schedule(0, 5)
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=20))
+    def test_dependencies_respected(self, n_phases, n_blocks):
+        """Phase p of block j runs after phase p-1 of block j."""
+        schedule = pipelined_schedule(n_phases, n_blocks)
+        when = {}
+        for macro_index, macro in enumerate(schedule):
+            for work in macro:
+                when[(work.phase, work.block)] = macro_index
+        for p in range(1, n_phases):
+            for j in range(n_blocks):
+                assert when[(p, j)] == when[(p - 1, j)] + 1
+
+
+class TestBufferRotation:
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=100))
+    def test_producer_consumer_agree(self, distance, macro):
+        """A consumer at phase-distance d reads the replica the
+        producer filled d macro-iterations earlier."""
+        replicas = distance + 1
+        produced = buffer_rotation(replicas, macro)
+        consumed = buffer_rotation(replicas, macro + distance - distance)
+        assert produced == consumed
+        # And the producer's next write lands in a different replica
+        # until the consumer is done (no overwrite within distance).
+        for k in range(1, distance + 1):
+            assert buffer_rotation(replicas, macro + k) != produced \
+                or k == replicas

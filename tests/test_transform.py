@@ -1,0 +1,158 @@
+"""Tests for the automated two-phase COPIFT transformer + dither kernel."""
+
+import numpy as np
+import pytest
+
+from repro.copift.frep_mapping import FrepBodyError
+from repro.copift.transform import TwoPhaseSpec, generate_two_phase
+from repro.isa.program import ProgramBuilder
+from repro.sim import Allocator, Machine, Memory
+from repro.kernels.dither import (
+    build_baseline,
+    build_copift,
+    reference_dither,
+)
+
+
+def _identity_spec(**overrides) -> TwoPhaseSpec:
+    """Minimal spec: int phase writes i, FP phase copies it out."""
+
+    def emit_setup(b):
+        b.li("s0", 0)  # element counter
+
+    def emit_int_element(b, u):
+        b.sw("s0", 8 * u, "a7")
+        b.addi("s0", "s0", 1)
+
+    def emit_fp_body(b):
+        b.cfcvt_d_wu("fa0", "ft0")
+        b.fmv_d("ft2", "fa0")
+
+    kwargs = dict(
+        name="ident",
+        emit_setup=emit_setup,
+        emit_int_element=emit_int_element,
+        emit_fp_body=emit_fp_body,
+        pops_per_element=1,
+        pushes_per_element=1,
+        unroll=4,
+    )
+    kwargs.update(overrides)
+    return TwoPhaseSpec(**kwargs)
+
+
+class TestGenerator:
+    def test_identity_pipeline(self):
+        memory = Memory()
+        alloc = Allocator(memory)
+        build = generate_two_phase(_identity_spec(), n=64, block=16,
+                                   alloc=alloc)
+        machine = Machine(memory=memory)
+        machine.run(build.program)
+        out = memory.read_array(build.output_addr, np.float64, 64)
+        np.testing.assert_array_equal(out, np.arange(64, dtype=float))
+
+    def test_region_marked(self):
+        memory = Memory()
+        alloc = Allocator(memory)
+        build = generate_two_phase(_identity_spec(), n=32, block=16,
+                                   alloc=alloc)
+        machine = Machine(memory=memory)
+        result = machine.run(build.program)
+        assert "main" in result.regions
+
+    def test_dual_issue_emerges(self):
+        memory = Memory()
+        alloc = Allocator(memory)
+        build = generate_two_phase(_identity_spec(), n=256, block=32,
+                                   alloc=alloc)
+        machine = Machine(memory=memory)
+        result = machine.run(build.program)
+        assert result.counters.sequencer_issued > 0
+        # 2 FP ops + ~3 int ops per element overlap:
+        assert result.region("main").ipc > 1.0
+
+    def test_validates_pop_count(self):
+        spec = _identity_spec(pops_per_element=2)
+        with pytest.raises(FrepBodyError, match="pops ft0 1"):
+            generate_two_phase(spec, 32, 16, Allocator(Memory()))
+
+    def test_validates_push_count(self):
+        spec = _identity_spec(pushes_per_element=2)
+        with pytest.raises(FrepBodyError, match="pushes ft2 1"):
+            generate_two_phase(spec, 32, 16, Allocator(Memory()))
+
+    def test_validates_body_legality(self):
+        def bad_body(b):
+            b.fld("fa0", 0, "a1")
+            b.fmv_d("ft2", "fa0")
+            b.fmv_d("fa1", "ft0")
+
+        spec = _identity_spec(emit_fp_body=bad_body)
+        with pytest.raises(FrepBodyError, match="illegal"):
+            generate_two_phase(spec, 32, 16, Allocator(Memory()))
+
+    def test_validates_sizes(self):
+        with pytest.raises(ValueError, match="multiple of block"):
+            generate_two_phase(_identity_spec(), 40, 16,
+                               Allocator(Memory()))
+        with pytest.raises(ValueError, match="unroll"):
+            generate_two_phase(_identity_spec(), 60, 30,
+                               Allocator(Memory()))
+        with pytest.raises(ValueError, match="2 blocks"):
+            generate_two_phase(_identity_spec(), 16, 16,
+                               Allocator(Memory()))
+
+    def test_no_output_stream_mode(self):
+        """pushes_per_element=0: accumulate-only kernels."""
+
+        def body(b):
+            b.cfcvt_d_wu("fa0", "ft0")
+            b.fadd_d("fs1", "fs1", "fa0")
+
+        def finalize(b):
+            b.li("t0", 0x800)
+            b.fsd("fs1", 0, "t0")
+
+        spec = _identity_spec(emit_fp_body=body,
+                              pushes_per_element=0,
+                              emit_finalize=finalize)
+        memory = Memory()
+        alloc = Allocator(memory, base=0x1000)
+        build = generate_two_phase(spec, 64, 16, alloc)
+        assert build.output_addr is None
+        machine = Machine(memory=memory)
+        machine.run(build.program)
+        assert memory.read_f64(0x800) == sum(range(64))
+
+
+class TestDitherKernel:
+    def test_copift_correct(self):
+        build_copift(256, block=32).run()
+
+    def test_baseline_correct(self):
+        build_baseline(256).run()
+
+    def test_copift_faster_than_baseline(self):
+        base, _ = build_baseline(1024).run()
+        cop, _ = build_copift(1024, block=64).run()
+        assert base.region("main").cycles \
+            > 1.1 * cop.region("main").cycles
+
+    def test_generated_code_dual_issues(self):
+        result, _ = build_copift(1024, block=64)[1] if False else \
+            build_copift(1024, block=64).run()
+        assert result.region("main").ipc > 1.0
+
+    def test_amplitude_parameter(self):
+        instance = build_copift(128, block=32, amplitude=2.0)
+        _, machine = instance.run()
+        out = machine.memory.read_array(instance.notes["out_addr"],
+                                        np.float64, 128)
+        assert np.all(np.abs(out) <= 1.0)
+        assert np.abs(out).max() > 0.5
+
+    def test_reference_distribution(self):
+        d = reference_dither(4096, seed=1, amplitude=1.0)
+        assert abs(d.mean()) < 0.02
+        assert np.all((-0.5 <= d) & (d < 0.5))
