@@ -1,0 +1,87 @@
+"""Cluster-scaling regression benchmarks.
+
+Asserts the headline property of the cluster layer: statically chunked
+kernels scale near-linearly to 8 cores.  The Monte Carlo kernels are
+embarrassingly parallel (no DMA, private PRNG streams) and must clear
+>=3x at 8 cores by a wide margin; the DMA-double-buffered vector
+kernels pay shared-DMA-bandwidth and bank-conflict costs but still
+scale well past 3x.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, partition_kernel
+from repro.kernels.common import MAIN_REGION
+from repro.kernels.registry import KERNELS, kernel
+
+#: Problem size for the scaling measurements (total, split over cores).
+SCALE_N = 4096
+
+MC_KERNELS = ("pi_lcg", "poly_lcg", "pi_xoshiro128p",
+              "poly_xoshiro128p")
+VECTOR_KERNELS = ("expf", "logf")
+
+
+def _speedup(name: str, variant: str, cores: int) -> float:
+    kd = kernel(name)
+    one = partition_kernel(kd, SCALE_N, 1, variant=variant) \
+        .run(check=False)
+    many = partition_kernel(kd, SCALE_N, cores, variant=variant) \
+        .run(check=False)
+    return one.region(MAIN_REGION).cycles / \
+        many.region(MAIN_REGION).cycles
+
+
+@pytest.mark.parametrize("name", MC_KERNELS)
+@pytest.mark.parametrize("variant", ("baseline", "copift"))
+def test_montecarlo_8core_speedup(name, variant):
+    """Monte Carlo kernels: >=3x at 8 cores (measured: ~7-8x)."""
+    speedup = _speedup(name, variant, 8)
+    assert speedup >= 3.0, (name, variant, speedup)
+
+
+@pytest.mark.parametrize("name", VECTOR_KERNELS)
+@pytest.mark.parametrize("variant", ("baseline", "copift"))
+def test_vector_dma_8core_speedup(name, variant):
+    """DMA-double-buffered vector kernels: >=3x at 8 cores."""
+    speedup = _speedup(name, variant, 8)
+    assert speedup >= 3.0, (name, variant, speedup)
+
+
+def test_scaling_is_monotone_for_pi_lcg():
+    results = {
+        cores: partition_kernel(kernel("pi_lcg"), SCALE_N, cores)
+        .run(check=False).region(MAIN_REGION).cycles
+        for cores in (1, 2, 4, 8)
+    }
+    assert results[1] > results[2] > results[4] > results[8]
+
+
+def test_every_kernel_verifies_on_8_cores():
+    """Functional correctness of all chunked kernels at full width."""
+    for name, kd in KERNELS.items():
+        for variant in ("baseline", "copift"):
+            partition_kernel(kd, 1024, 8, variant=variant) \
+                .run(check=True)
+
+
+def test_bank_conflicts_bounded_at_8_cores():
+    """Conflict stalls stay a small fraction of the makespan."""
+    result = partition_kernel(kernel("expf"), SCALE_N, 8,
+                              variant="copift").run(check=False)
+    per_core = result.tcdm_conflict_cycles / 8
+    assert per_core < 0.2 * result.cycles
+
+
+def test_fewer_banks_conflict_more():
+    """Shrinking the bank count must raise conflicts and the makespan
+    -- the bank-conflict study knob."""
+    kd = kernel("poly_lcg")
+    wide = partition_kernel(kd, 2048, 4, variant="copift") \
+        .run(config=ClusterConfig(n_cores=4, tcdm_banks=32),
+             check=False)
+    narrow = partition_kernel(kd, 2048, 4, variant="copift") \
+        .run(config=ClusterConfig(n_cores=4, tcdm_banks=4),
+             check=False)
+    assert narrow.tcdm_conflict_cycles > wide.tcdm_conflict_cycles
+    assert narrow.cycles >= wide.cycles

@@ -1,0 +1,10 @@
+"""Shim for environments without PEP 660 support (old pip / no wheel).
+
+All metadata lives in pyproject.toml; ``pip install -e .`` is the
+supported path.  This file only enables ``python setup.py develop`` as
+a fallback where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -10,10 +10,11 @@ Package map:
 
 * :mod:`repro.isa`     -- registers, instruction set, assembler DSL.
 * :mod:`repro.sim`     -- functional + cycle-level core model.
+* :mod:`repro.cluster` -- N-core cluster: banked TCDM, DMA, barriers.
 * :mod:`repro.energy`  -- activity-based power/energy model.
 * :mod:`repro.copift`  -- the seven-step COPIFT methodology + Eqs. 1-3.
 * :mod:`repro.kernels` -- the six evaluated kernels, baseline + COPIFT.
-* :mod:`repro.eval`    -- regeneration of Table I and Figures 2-3.
+* :mod:`repro.eval`    -- Table I, Figures 2-3, cluster scaling.
 
 Quick start::
 

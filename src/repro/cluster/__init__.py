@@ -1,0 +1,39 @@
+"""Multi-core cluster simulation layer.
+
+Composes N :class:`~repro.sim.machine.Machine` cores into a Snitch-style
+compute cluster:
+
+* :class:`BankedTcdm` — word-interleaved bank arbitration (conflict
+  stalls) layered over the flat functional memory.
+* :class:`ClusterDma` — shared L2<->TCDM tile engine with a
+  bandwidth/latency model; drives double-buffered execution.
+* :class:`ClusterMachine` — event-driven N-core driver with hardware
+  barriers (``cluster.barrier``) and cluster atomics (``amoadd.w``).
+* :func:`partition_kernel` — static chunking of the six registered
+  kernels into per-core workloads.
+"""
+
+from .config import ClusterConfig
+from .dma import ClusterDma, DmaTransfer
+from .machine import ClusterMachine, ClusterRunResult
+from .partition import (
+    ClusterWorkload,
+    choose_block,
+    partition_kernel,
+    stage_inputs_via_dma,
+)
+from .tcdm import BankedTcdm, BankStats
+
+__all__ = [
+    "BankStats",
+    "BankedTcdm",
+    "ClusterConfig",
+    "ClusterDma",
+    "ClusterMachine",
+    "ClusterRunResult",
+    "ClusterWorkload",
+    "DmaTransfer",
+    "choose_block",
+    "partition_kernel",
+    "stage_inputs_via_dma",
+]

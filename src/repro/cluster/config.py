@@ -1,0 +1,61 @@
+"""Cluster-level configuration: cores, TCDM banking, DMA, barrier.
+
+Defaults approximate the 8-core Snitch compute cluster the paper's
+kernels target: 32 word-interleaved TCDM banks (4 banks per core), a
+wide shared DMA engine moving tiles between L2 and TCDM, and a
+single-cycle-tree hardware barrier with a small propagation latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ClusterConfig:
+    """Tunable cluster parameters.
+
+    Attributes:
+        n_cores: Number of Snitch-like worker cores.
+        tcdm_banks: Word-interleaved TCDM banks (one 32-bit word per
+            bank per cycle).
+        tcdm_size: Architectural TCDM capacity in bytes; DMA transfers
+            into or out of the scratchpad must fit under this bound.
+        bank_stagger_words: Per-core physical placement offset, in
+            32-bit words, applied when mapping a core's addresses onto
+            banks.  Cores run identical programs over identically laid
+            out chunks; real firmware staggers the chunk bases so
+            lock-step cores land on disjoint banks.  The default of 2
+            words (one FP64 element) de-conflicts lock-step 64-bit
+            streams; 0 models naive placement (worst-case conflicts)
+            and is required for cores *sharing* one memory image,
+            where the mapping must be physical.
+        dma_bandwidth: Sustained DMA bandwidth in bytes per cycle
+            (shared by all cores' transfers).
+        dma_setup_latency: Fixed cycles per transfer before the first
+            beat lands (descriptor fetch + interconnect traversal).
+        barrier_latency: Cycles from the last core's arrival to the
+            barrier release reaching every core.
+        model_bank_conflicts: Ablation switch for the bank arbiter.
+    """
+
+    n_cores: int = 8
+    tcdm_banks: int = 32
+    tcdm_size: int = 1 << 17
+    bank_stagger_words: int = 2
+    dma_bandwidth: int = 8
+    dma_setup_latency: int = 16
+    barrier_latency: int = 4
+    model_bank_conflicts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.tcdm_banks < 1:
+            raise ValueError(
+                f"tcdm_banks must be >= 1, got {self.tcdm_banks}"
+            )
+        if self.dma_bandwidth < 1:
+            raise ValueError(
+                f"dma_bandwidth must be >= 1, got {self.dma_bandwidth}"
+            )

@@ -1,0 +1,92 @@
+"""Cluster DMA engine: L2 <-> TCDM tile transfers with real timing.
+
+One engine per cluster, shared by all cores.  A transfer programmed with
+``dma.start dst, src, len`` occupies the engine for ``setup_latency +
+ceil(len / bandwidth)`` cycles; transfers are serviced in program order
+(single physical engine, one outstanding burst at a time — queueing a
+transfer while another is in flight is precisely what double-buffering
+exploits).  Completion times feed the cores' memory-RAW publication
+machinery, so compute naturally overlaps in-flight transfers and stalls
+only when it outruns them.
+
+The engine also enforces the architectural TCDM capacity: a transfer
+whose scratchpad-side footprint crosses ``tcdm_size`` raises
+:class:`~repro.sim.memory.MemoryError_` (the model's equivalent of the
+interconnect's error response).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.memory import MemoryError_
+
+
+@dataclass(frozen=True)
+class DmaTransfer:
+    """Record of one queued transfer (for reports and tests)."""
+
+    core_id: int
+    dst: int
+    src: int
+    nbytes: int
+    issue: int
+    begin: int
+    done: int
+
+
+class ClusterDma:
+    """Bandwidth/latency model of the shared cluster DMA engine."""
+
+    def __init__(self, bandwidth: int = 8, setup_latency: int = 16,
+                 tcdm_size: int | None = None) -> None:
+        self.bandwidth = bandwidth
+        self.setup_latency = setup_latency
+        self.tcdm_size = tcdm_size
+        self.transfers: list[DmaTransfer] = []
+        self._free_at = 0
+        self._core_done: dict[int, int] = {}
+        self.bytes_moved = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    def _check_tcdm_bounds(self, addr: int, nbytes: int) -> None:
+        """Reject scratchpad-side footprints overrunning the TCDM."""
+        if self.tcdm_size is None:
+            return
+        if addr < self.tcdm_size and addr + nbytes > self.tcdm_size:
+            raise MemoryError_(
+                f"DMA transfer of {nbytes} bytes at 0x{addr:x} overruns "
+                f"the TCDM capacity of 0x{self.tcdm_size:x} bytes"
+            )
+
+    def start(self, core_id: int, dst: int, src: int, nbytes: int,
+              now: int) -> int:
+        """Queue a transfer issued at *now*; returns its completion cycle."""
+        if nbytes < 0:
+            raise MemoryError_(f"negative DMA length {nbytes}")
+        self._check_tcdm_bounds(dst, nbytes)
+        self._check_tcdm_bounds(src, nbytes)
+        begin = max(now, self._free_at)
+        duration = self.setup_latency + -(-nbytes // self.bandwidth)
+        done = begin + duration
+        self._free_at = done
+        self.busy_cycles += duration
+        self.bytes_moved += nbytes
+        prev = self._core_done.get(core_id, 0)
+        self._core_done[core_id] = max(prev, done)
+        self.transfers.append(DmaTransfer(
+            core_id=core_id, dst=dst, src=src, nbytes=nbytes,
+            issue=now, begin=begin, done=done,
+        ))
+        return done
+
+    def core_drain_time(self, core_id: int) -> int:
+        """Cycle when every transfer started by *core_id* has completed
+        (the ``dma.wait`` fence)."""
+        return self._core_done.get(core_id, 0)
+
+    @property
+    def drain_time(self) -> int:
+        """Cycle when the whole engine goes idle."""
+        return self._free_at

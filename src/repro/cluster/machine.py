@@ -1,0 +1,188 @@
+"""Multi-core cluster simulation: N Machines over shared resources.
+
+A :class:`ClusterMachine` composes N :class:`~repro.sim.machine.Machine`
+cores with the shared-resource timing models of this package:
+
+* every core's loads/stores/SSR streams arbitrate through one
+  :class:`~repro.cluster.tcdm.BankedTcdm` (bank-conflict stalls),
+* ``dma.start``/``dma.wait`` program one shared
+  :class:`~repro.cluster.dma.ClusterDma` engine,
+* ``cluster.barrier`` parks a core until every active core arrives.
+
+Execution is event-driven: the driver repeatedly steps the core whose
+integer issue timeline is furthest behind, so cores advance roughly in
+lock-step simulated time and shared-resource claims line up with the
+cycles they model.  Functional state is per-core — each core binds its
+own program over its own (or an explicitly shared) memory image — which
+keeps correctness independent of the stepping interleave; only *timing*
+couples the cores.  With a single core and no DMA/barrier instructions
+the composition is cycle-identical to a bare ``Machine`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.program import Program
+from ..sim.config import CoreConfig
+from ..sim.counters import Counters, RegionMeasurement, RunResult
+from ..sim.machine import Machine, SimulationError
+from ..sim.memory import Memory
+from .config import ClusterConfig
+from .dma import ClusterDma
+from .tcdm import BankedTcdm
+
+
+def _sum_counters(parts: list[Counters]) -> Counters:
+    total = Counters()
+    for part in parts:
+        for name, value in vars(part).items():
+            setattr(total, name, getattr(total, name) + value)
+    return total
+
+
+@dataclass
+class ClusterRunResult:
+    """Aggregate measurements of one cluster simulation.
+
+    Attributes:
+        cycles: Cluster makespan — the slowest core's elapsed cycles.
+        core_results: Per-core :class:`RunResult`, in core order.
+        counters: Field-wise sum of the per-core counters.
+        tcdm_accesses: Banked-TCDM grants over the whole run.
+        tcdm_conflict_cycles: Total bank-conflict stall cycles.
+        tcdm_bank_conflicts: Per-bank conflict cycles.
+        dma_bytes: Bytes moved by the shared DMA engine.
+        dma_busy_cycles: Cycles the DMA engine was occupied.
+        barrier_count: Barrier episodes completed by the cluster.
+    """
+
+    cycles: int
+    core_results: list[RunResult]
+    counters: Counters
+    tcdm_accesses: int = 0
+    tcdm_conflict_cycles: int = 0
+    tcdm_bank_conflicts: list[int] = field(default_factory=list)
+    dma_bytes: int = 0
+    dma_busy_cycles: int = 0
+    barrier_count: int = 0
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.core_results)
+
+    def region(self, name: str) -> RegionMeasurement:
+        """Cluster-level view of a marked region.
+
+        Cycles are the *makespan* (max over cores — cores enter a
+        region together modulo skew); counters are summed.
+        """
+        parts = [r.regions[name] for r in self.core_results
+                 if name in r.regions]
+        if not parts:
+            raise KeyError(f"no region {name!r} on any core")
+        return RegionMeasurement(
+            name,
+            max(p.cycles for p in parts),
+            _sum_counters([p.counters for p in parts]),
+        )
+
+
+class ClusterMachine:
+    """N cores, one banked TCDM, one DMA engine, one barrier tree."""
+
+    def __init__(self, config: ClusterConfig | None = None,
+                 core_config: CoreConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.core_config = core_config or CoreConfig()
+        self.tcdm = BankedTcdm(
+            n_banks=self.config.tcdm_banks,
+            bank_stagger_words=self.config.bank_stagger_words,
+            enabled=self.config.model_bank_conflicts,
+        )
+        self.dma = ClusterDma(
+            bandwidth=self.config.dma_bandwidth,
+            setup_latency=self.config.dma_setup_latency,
+            tcdm_size=self.config.tcdm_size,
+        )
+        self.cores: list[Machine] = []
+        self._programs: list[Program] = []
+        self.barrier_count = 0
+
+    # ------------------------------------------------------------------
+    def add_core(self, program: Program, memory: Memory) -> Machine:
+        """Register one core running *program* over *memory*.
+
+        Cores may share a ``Memory`` instance (cluster-shared data,
+        atomics) or carry private images (partitioned chunks); the
+        cluster does not care.  When sharing, set
+        ``bank_stagger_words=0`` in the :class:`ClusterConfig` — the
+        stagger models private-chunk placement and would otherwise map
+        one shared word to different banks per core (see
+        :meth:`BankedTcdm.bank_of`).
+        """
+        if len(self.cores) >= self.config.n_cores:
+            raise ValueError(
+                f"cluster is configured for {self.config.n_cores} cores"
+            )
+        machine = Machine(config=self.core_config, memory=memory)
+        machine.core_id = len(self.cores)
+        machine.tcdm = self.tcdm
+        machine.dma = self.dma
+        machine.cluster = self
+        self.cores.append(machine)
+        self._programs.append(program)
+        return machine
+
+    # ------------------------------------------------------------------
+    def _release_barrier(self, waiting: list[Machine],
+                         finished: list[Machine]) -> None:
+        if finished:
+            names = [m.core_id for m in waiting]
+            raise SimulationError(
+                f"barrier mismatch: cores {names} wait at a barrier "
+                f"that cores {[m.core_id for m in finished]} exited "
+                f"the program without reaching"
+            )
+        release = max(m.barrier_arrival for m in waiting) \
+            + self.config.barrier_latency
+        for m in waiting:
+            m.counters.stall_barrier += release - m.barrier_arrival
+            m.int_time = release
+            m.fp_time = max(m.fp_time, release)
+            m.barrier_wait = False
+        self.barrier_count += 1
+
+    def run(self, max_steps: int = 200_000_000) -> ClusterRunResult:
+        """Run every core to completion and aggregate measurements."""
+        if not self.cores:
+            raise ValueError("cluster has no cores; call add_core first")
+        for machine, program in zip(self.cores, self._programs):
+            machine.bind(program, max_steps)
+        active = [m for m in self.cores]
+        finished: list[Machine] = []
+        while active:
+            runnable = [m for m in active if not m.barrier_wait]
+            if not runnable:
+                self._release_barrier(active, finished)
+                continue
+            # Step the core furthest behind on its issue timeline so
+            # shared-resource claims happen in (approximate) cycle
+            # order.  Ties break by core id: deterministic.
+            machine = min(runnable, key=lambda m: (m.int_time, m.core_id))
+            if not machine.step():
+                active.remove(machine)
+                finished.append(machine)
+        results = [m.result() for m in self.cores]
+        return ClusterRunResult(
+            cycles=max(r.cycles for r in results),
+            core_results=results,
+            counters=_sum_counters([r.counters for r in results]),
+            tcdm_accesses=self.tcdm.total_accesses,
+            tcdm_conflict_cycles=self.tcdm.total_conflict_cycles,
+            tcdm_bank_conflicts=[s.conflict_cycles
+                                 for s in self.tcdm.stats],
+            dma_bytes=self.dma.bytes_moved,
+            dma_busy_cycles=self.dma.busy_cycles,
+            barrier_count=self.barrier_count,
+        )

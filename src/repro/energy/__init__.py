@@ -1,6 +1,12 @@
 """Activity-based energy and power model (paper Fig. 2b/2c substitute)."""
 
-from .constants import EnergyParams
-from .model import EnergyModel, PowerReport
+from .constants import ClusterEnergyParams, EnergyParams
+from .model import ClusterEnergyModel, EnergyModel, PowerReport
 
-__all__ = ["EnergyModel", "EnergyParams", "PowerReport"]
+__all__ = [
+    "ClusterEnergyModel",
+    "ClusterEnergyParams",
+    "EnergyModel",
+    "EnergyParams",
+    "PowerReport",
+]

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..sim.counters import Counters
-from .constants import EnergyParams
+from .constants import ClusterEnergyParams, EnergyParams
 
 
 @dataclass(frozen=True)
@@ -118,5 +118,76 @@ class EnergyModel:
             cycles=cycles,
             dynamic_energy_pj=dynamic,
             constant_energy_pj=constant,
+            breakdown_pj=breakdown,
+        )
+
+
+class ClusterEnergyModel:
+    """Energy/power for an N-core cluster run.
+
+    Reuses the per-core activity model on the cluster's *aggregate*
+    counters (activity energy is additive), then swaps the single-core
+    constant term for the cluster decomposition — shared power once,
+    per-core slices N times, per-bank TCDM static power — and adds the
+    shared-resource activity the cores cannot see: crossbar bank
+    grants, arbitration retries, DMA descriptors and beats, barrier
+    episodes.
+    """
+
+    def __init__(self, params: EnergyParams | None = None,
+                 cluster_params: ClusterEnergyParams | None = None)\
+            -> None:
+        self.core_model = EnergyModel(params)
+        self.params = self.core_model.params
+        self.cluster_params = cluster_params or ClusterEnergyParams()
+
+    def report(self, counters: Counters, cycles: int, n_cores: int,
+               n_banks: int = 32,
+               tcdm_accesses: int = 0,
+               tcdm_conflict_cycles: int = 0,
+               dma_bytes: int = 0,
+               dma_transfers: int = 0,
+               barriers: int = 0,
+               dma_active: bool = True) -> PowerReport:
+        """Estimate cluster energy/power over a region.
+
+        Args:
+            counters: Aggregate (summed) per-core activity.
+            cycles: Cluster makespan of the region.
+            n_cores: Active cores.
+            n_banks: TCDM banks (static power).
+            tcdm_accesses: Bank grants over the region.
+            tcdm_conflict_cycles: Arbitration retries over the region.
+            dma_bytes: Bytes moved by the shared DMA engine.
+            dma_transfers: Transfer descriptors processed.
+            barriers: Barrier episodes (cluster-wide, not per core).
+            dma_active: Whether the DMA engine was powered.
+        """
+        cp = self.cluster_params
+        core = self.core_model.report(counters, cycles,
+                                      dma_active=False, dma_bytes=0)
+        breakdown = dict(core.breakdown_pj)
+        breakdown["tcdm_xbar"] = (
+            tcdm_accesses * cp.tcdm_bank_access_pj
+            + tcdm_conflict_cycles * cp.tcdm_conflict_pj
+        )
+        breakdown["dma"] = (
+            dma_bytes * cp.dma_byte_pj
+            + dma_transfers * cp.dma_setup_pj
+        ) if dma_active else 0.0
+        breakdown["barrier"] = barriers * cp.barrier_pj
+        dynamic = sum(breakdown.values())
+        p = self.params
+        dma_mw = p.dma_active_mw if dma_active else p.dma_idle_mw
+        constant_mw = (
+            cp.shared_constant_mw
+            + n_cores * cp.per_core_constant_mw
+            + n_banks * cp.tcdm_bank_static_mw
+            + dma_mw
+        )
+        return PowerReport(
+            cycles=cycles,
+            dynamic_energy_pj=dynamic,
+            constant_energy_pj=constant_mw * cycles,
             breakdown_pj=breakdown,
         )

@@ -1,4 +1,5 @@
-"""Evaluation harness: regenerates the paper's Table I and Figures 2-3."""
+"""Evaluation harness: the paper's Table I and Figures 2-3, plus the
+cluster-scaling artifact (``clusterscale``)."""
 
 from .runner import (
     KernelMeasurement,

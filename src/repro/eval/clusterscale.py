@@ -1,0 +1,166 @@
+"""Cluster-scaling artifact: 1/2/4/8-core sweep of every kernel.
+
+For each registered kernel and both variants the sweep statically chunks
+a fixed total problem over 1, 2, 4 and 8 cores (`repro.cluster`), runs
+the cluster simulation (banked-TCDM arbitration, DMA-staged inputs for
+the vector kernels, trailing barrier) and reports the makespan of the
+``main`` region, the speedup and parallel efficiency versus the 1-core
+run, bank-conflict stalls, and cluster power from the extended energy
+model.  The 1-core column reproduces the single-``Machine`` measurement
+exactly (same program, same memory image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import ClusterConfig, partition_kernel
+from ..energy import ClusterEnergyModel
+from ..kernels.common import MAIN_REGION
+from ..kernels.registry import KERNELS
+from ..sim import CoreConfig
+
+DEFAULT_CORES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One (kernel, variant, core-count) measurement."""
+
+    cores: int
+    cycles: int
+    speedup: float        # vs the smallest swept count, same variant
+    efficiency: float     # speedup normalized by the core-count ratio
+    tcdm_conflict_cycles: int
+    dma_bytes: int
+    barrier_count: int
+    power_mw: float
+
+
+@dataclass(frozen=True)
+class ScaleRow:
+    """One kernel x variant across every swept core count."""
+
+    name: str
+    variant: str
+    points: tuple[ScalePoint, ...]
+
+    def point(self, cores: int) -> ScalePoint:
+        for p in self.points:
+            if p.cores == cores:
+                return p
+        raise KeyError(f"no {cores}-core point for {self.name}")
+
+
+@dataclass(frozen=True)
+class ClusterScaleData:
+    rows: tuple[ScaleRow, ...]
+    n: int
+    cores: tuple[int, ...]
+
+    def row(self, name: str, variant: str) -> ScaleRow:
+        for r in self.rows:
+            if r.name == name and r.variant == variant:
+                return r
+        raise KeyError(f"no row {name}/{variant}")
+
+
+def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
+             config: ClusterConfig | None = None,
+             core_config: CoreConfig | None = None,
+             check: bool = False) -> ClusterScaleData:
+    """Run the full scaling sweep.
+
+    *cores* is normalized to ascending unique counts; speedups are
+    relative to the smallest swept count (1 in the default sweep).
+    """
+    cores = tuple(sorted(set(cores)))
+    base_config = config or ClusterConfig()
+    energy = ClusterEnergyModel()
+    rows = []
+    for kernel_def in KERNELS.values():
+        for variant in ("baseline", "copift"):
+            points = []
+            base_cycles = None
+            for n_cores in cores:
+                workload = partition_kernel(kernel_def, n, n_cores,
+                                            variant=variant)
+                result = workload.run(config=base_config,
+                                      core_config=core_config,
+                                      check=check)
+                region = result.region(MAIN_REGION)
+                cycles = region.cycles
+                if base_cycles is None:
+                    base_cycles = cycles
+                # DMA energy is priced on the kernels' *conceptual*
+                # traffic (input staging + output drain), exactly as
+                # Figure 2 prices the same instances — the engine's
+                # measured bytes cover only the transfers the cluster
+                # actually models (staged inputs), which would make the
+                # 1-core power column disagree with Fig. 2.
+                dma_bytes = sum(i.dma_bytes
+                                for i in workload.instances)
+                power = energy.report(
+                    region.counters, cycles, n_cores,
+                    n_banks=base_config.tcdm_banks,
+                    tcdm_accesses=result.tcdm_accesses,
+                    tcdm_conflict_cycles=result.tcdm_conflict_cycles,
+                    dma_bytes=dma_bytes,
+                    dma_transfers=result.counters.dma_transfers,
+                    barriers=result.barrier_count,
+                    dma_active=any(i.dma_active
+                                   for i in workload.instances),
+                )
+                speedup = base_cycles / cycles
+                points.append(ScalePoint(
+                    cores=n_cores,
+                    cycles=cycles,
+                    speedup=speedup,
+                    efficiency=speedup * cores[0] / n_cores,
+                    tcdm_conflict_cycles=result.tcdm_conflict_cycles,
+                    dma_bytes=result.dma_bytes,
+                    barrier_count=result.barrier_count,
+                    power_mw=power.power_mw,
+                ))
+            rows.append(ScaleRow(kernel_def.name, variant,
+                                 tuple(points)))
+    return ClusterScaleData(tuple(rows), n=n, cores=tuple(cores))
+
+
+def render(data: ClusterScaleData) -> str:
+    """Text table: cycles and speedup per core count."""
+    base_cores = data.cores[0]
+    lines = [
+        f"Cluster scaling: {data.n} elements/samples over "
+        f"{'/'.join(str(c) for c in data.cores)} cores",
+        f"(speedup vs the {base_cores}-core run of the same variant; "
+        "S = speedup, E = efficiency)",
+    ]
+    cores_cols = "".join(
+        f" {'S@' + str(c):>7} {'E@' + str(c):>6}"
+        for c in data.cores[1:]
+    )
+    base_label = f"{base_cores}-core cyc"
+    header = (f"{'Kernel':<18} {'variant':<9} {base_label:>11}"
+              f"{cores_cols} {'cflt@max':>9} {'mW@max':>7}")
+    lines += [header, "-" * len(header)]
+    for row in data.rows:
+        base = row.points[0]
+        cells = "".join(
+            f" {p.speedup:>6.2f}x {p.efficiency:>6.2f}"
+            for p in row.points[1:]
+        )
+        last = row.points[-1]
+        lines.append(
+            f"{row.name:<18} {row.variant:<9} {base.cycles:>11}"
+            f"{cells} {last.tcdm_conflict_cycles:>9} "
+            f"{last.power_mw:>6.1f}"
+        )
+    max_cores = data.cores[-1]
+    speedups = [r.points[-1].speedup for r in data.rows]
+    lines.append(
+        f"speedup at {max_cores} cores: min {min(speedups):.2f}x, "
+        f"max {max(speedups):.2f}x "
+        f"(ideal {max_cores / base_cores:.2f}x)"
+    )
+    return "\n".join(lines)

@@ -94,20 +94,23 @@ def _tokens_to_operands(
 
     For memory-format instructions the textual form has one fewer token
     than the spec roles (``imm(base)`` covers both ``imm`` and the base
-    register), so it is expanded here.
+    register), so it is expanded here.  AMO-style instructions carry
+    extra register tokens after the memory operand (``amoadd.w rd,
+    imm(base), rs2``).
     """
     if mem_base_role is not None:
-        if len(tokens) != 2:
+        if len(tokens) != len(roles) - 1:
             raise ValueError(
-                f"memory instruction expects 'reg, imm(base)', "
-                f"got {tokens}"
+                f"memory instruction expects 'reg, imm(base)"
+                f"{', ...' if len(roles) > 3 else ''}', got {tokens}"
             )
         mem_match = _MEM_RE.match(tokens[1])
         if not mem_match:
             raise ValueError(f"malformed memory operand {tokens[1]!r}")
-        # Roles are (reg, imm, base) by construction of the spec table.
+        # Roles are (reg, imm, base[, extras...]) by construction of the
+        # spec table.
         return [tokens[0], _parse_int(mem_match.group(1)),
-                mem_match.group(2)]
+                mem_match.group(2), *tokens[2:]]
     if len(tokens) != len(roles):
         raise ValueError(
             f"expected {len(roles)} operands for roles {roles}, "

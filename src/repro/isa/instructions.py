@@ -261,6 +261,32 @@ _add(_spec("ssr.disable", _I, OpClass.CSR, (), extension="xssr"))
 # counted for the energy model.
 _add(_spec("dma.copy", _I, OpClass.CSR, ("rs1", "rs2", "rs3"),
            extension="xdma"))
+# dma.start rs1(dst), rs2(src), rs3(len): asynchronous tile transfer on
+# the cluster DMA engine.  Functionally the copy lands immediately (in
+# program order); its *timing* completion is modelled by the cluster's
+# bandwidth/latency engine, and consumers of the destination range stall
+# through the memory-RAW machinery until the transfer drains.  Without a
+# cluster DMA engine attached it degrades to dma.copy semantics.
+_add(_spec("dma.start", _I, OpClass.CSR, ("rs1", "rs2", "rs3"),
+           extension="xdma"))
+# dma.wait: stall the integer core until every transfer this core has
+# started on the cluster DMA engine has completed (a DMA fence).
+_add(_spec("dma.wait", _I, OpClass.CSR, (), extension="xdma"))
+
+# --- Cluster synchronization (Xcluster) -----------------------------------
+# cluster.barrier: hardware barrier across all cores of a cluster.  The
+# core arrives once its FP subsystem has drained (implicit FPU fence)
+# and resumes when every active core in the cluster has arrived.  On a
+# single Machine (no cluster attached) it costs one issue cycle.
+_add(_spec("cluster.barrier", _I, OpClass.CSR, (), extension="xcluster"))
+# amoadd.w rd, imm(rs1), rs2: atomic fetch-and-add on a TCDM word
+# (cluster atomics, serviced by the TCDM interconnect).  rd receives
+# the old value; memory receives old + rs2.  Atomicity across cores
+# holds by construction in the cluster model (one core steps at a
+# time); timing is a load-class TCDM round trip.
+_add(_spec("amoadd.w", _I, OpClass.LOAD, ("rd", "imm", "rs1", "rs2"),
+           is_load=True, is_store=True, extension="xcluster",
+           mem_base_role="rs1"))
 
 # --- Simulator meta directives -----------------------------------------
 # mark <label>: zero-cost region marker for performance counters.

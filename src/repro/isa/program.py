@@ -118,10 +118,19 @@ class Instruction:
         if not spec.roles:
             return spec.mnemonic
         if spec.mem_base_role is not None:
-            # Memory format: op reg, imm(base)
+            # Memory format: op reg, imm(base)[, extra...] — the extra
+            # tail covers AMO-style value operands (amoadd.w).
             reg_role = spec.roles[0]
             reg = self.operand(reg_role)
-            return f"{spec.mnemonic} {reg}, {self.imm}({self.mem_base})"
+            text = f"{spec.mnemonic} {reg}, {self.imm}({self.mem_base})"
+            extras = [
+                str(value)
+                for role, value in zip(spec.roles[1:], self.operands[1:])
+                if role not in ("imm", spec.mem_base_role)
+            ]
+            if extras:
+                text += ", " + ", ".join(extras)
+            return text
         parts = []
         for role, value in zip(spec.roles, self.operands):
             parts.append(str(value))

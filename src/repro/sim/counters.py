@@ -35,11 +35,15 @@ class Counters:
     stall_fp_response: int = 0    # waiting on an FPSS→int result (Type 3)
     stall_mem_raw: int = 0        # load waiting on an in-flight store
     stall_ssr_sync: int = 0       # re-arming an SSR before it drained
+    stall_tcdm: int = 0           # TCDM bank-conflict stalls (int LSU)
+    stall_barrier: int = 0        # waiting at a cluster hardware barrier
+    stall_dma: int = 0            # dma.wait fence stalls
 
     # -- stall accounting (FPSS) --------------------------------------------
     fp_stall_raw: int = 0         # waiting on FP operands
     fp_stall_ssr: int = 0         # waiting on SSR stream data
     fp_stall_wb_port: int = 0     # FP RF writeback-port conflicts
+    fp_stall_tcdm: int = 0        # TCDM bank-conflict stalls (FP/SSR side)
 
     # -- activity (for the energy model) ------------------------------------
     int_alu_ops: int = 0
@@ -63,6 +67,9 @@ class Counters:
     icache_l0_hits: int = 0
     icache_l0_misses: int = 0
     dma_bytes_moved: int = 0
+    dma_transfers: int = 0
+    barriers: int = 0
+    amo_ops: int = 0
 
     def copy(self) -> "Counters":
         return Counters(**vars(self))

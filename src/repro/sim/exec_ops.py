@@ -216,17 +216,33 @@ def _h_sb(m, instr):
     return None
 
 
+def _h_amoadd_w(m, instr):
+    """Atomic fetch-and-add on a TCDM word (cluster atomics).
+
+    Atomic by construction: the cluster driver steps one core at a
+    time, so the read-modify-write never interleaves with another
+    core's access to the same word.
+    """
+    addr = u32(m.iregs[instr.operands[2].index] + instr.imm)
+    old = m.memory.read_u32(addr)
+    m.memory.write_u32(addr, u32(old + m.iregs[instr.operands[3].index]))
+    m.write_ireg(instr.operands[0], old)
+    m.counters.amo_ops += 1
+    return None
+
+
 def _h_dma_copy(m, instr):
     dst = m.iregs[instr.operands[0].index]
     src = m.iregs[instr.operands[1].index]
     length = m.iregs[instr.operands[2].index]
-    m.memory.data[dst:dst + length] = m.memory.data[src:src + length]
+    m.memory.copy_within(dst, src, length)
     m.counters.dma_bytes_moved += length
     return None
 
 
 INT_HANDLERS.update({
     "dma.copy": _h_dma_copy,
+    "amoadd.w": _h_amoadd_w,
     "lui": _h_lui, "li": _h_li, "mv": _h_mv, "not": _h_not, "nop": _h_nop,
     "beqz": _h_beqz, "bnez": _h_bnez,
     "lw": _h_lw, "lh": _h_lh, "lbu": _h_lbu,

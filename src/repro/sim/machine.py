@@ -26,7 +26,6 @@ first-class mechanism rather than calibrated afterwards.
 
 from __future__ import annotations
 
-import struct
 from collections import deque
 
 from ..isa.instructions import OpClass, Thread
@@ -78,6 +77,15 @@ class Machine:
         self.ssr_enabled = False
         #: Issue-event log; None (disabled) unless enable_trace() ran.
         self.trace: list[TraceEvent] | None = None
+        # -- cluster hooks (all None/0 for a standalone core) -----------
+        #: Core index within a cluster (bank-stagger offset, DMA owner).
+        self.core_id = 0
+        #: Banked-TCDM arbiter shared by the cluster, or None.
+        self.tcdm = None
+        #: Cluster DMA engine (bandwidth/latency model), or None.
+        self.dma = None
+        #: Owning ClusterMachine (barrier coordination), or None.
+        self.cluster = None
         self.reset_timing()
 
     def enable_trace(self) -> list[TraceEvent]:
@@ -117,6 +125,14 @@ class Machine:
                           enabled=self.config.model_l0_icache)
         self._region_open: dict[str, tuple[int, Counters]] = {}
         self._regions: dict[str, RegionMeasurement] = {}
+        #: True while parked at a cluster barrier (cluster sims only).
+        self.barrier_wait = False
+        #: Time this core arrived at the barrier it is parked at.
+        self.barrier_arrival = 0
+        self._decoded: list[tuple[Instruction, int | None]] = []
+        self._pc = 0
+        self._steps = 0
+        self._max_steps = 0
 
     @property
     def now(self) -> int:
@@ -162,9 +178,9 @@ class Machine:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def run(self, program: Program,
-            max_steps: int = 200_000_000) -> RunResult:
-        """Execute *program* to completion and return measurements."""
+    def bind(self, program: Program,
+             max_steps: int = 200_000_000) -> None:
+        """Prepare *program* for stepwise execution (see :meth:`step`)."""
         decoded: list[tuple[Instruction, int | None]] = []
         for instr in program.instructions:
             target = None
@@ -172,34 +188,87 @@ class Machine:
                     OpClass.BRANCH, OpClass.JUMP):
                 target = program.target(instr.label)
             decoded.append((instr, target))
+        self._decoded = decoded
+        self._pc = 0
+        self._steps = 0
+        self._max_steps = max_steps
+        self.barrier_wait = False
 
-        pc = 0
-        steps = 0
-        end = len(decoded)
-        while pc < end:
-            instr, target = decoded[pc]
-            opclass = instr.spec.opclass
-            steps += 1
-            if steps > max_steps:
-                raise SimulationError(
-                    f"exceeded max_steps={max_steps} at pc={pc} "
-                    f"({instr.render()})"
-                )
-            if opclass is OpClass.META:
-                self._exec_mark(instr)
-                pc += 1
-            elif opclass is OpClass.FREP:
-                pc = self._exec_frep(instr, pc, decoded)
-            elif instr.spec.thread is Thread.INT:
-                pc = self._step_int(instr, target, pc)
-            else:
-                self._step_fp(instr, pc)
-                pc += 1
+    @property
+    def finished(self) -> bool:
+        return self._pc >= len(self._decoded)
 
-        total = self.now
-        counters = self.counters.copy()
-        return RunResult(cycles=total, counters=counters,
+    def step(self) -> bool:
+        """Execute one dynamic instruction of the bound program.
+
+        Returns False once the program has finished.  An ``frep`` loop
+        (all its sequenced iterations) counts as one step.  The cluster
+        driver interleaves ``step()`` calls across cores; a standalone
+        :meth:`run` just exhausts them.
+        """
+        pc = self._pc
+        decoded = self._decoded
+        if pc >= len(decoded):
+            return False
+        instr, target = decoded[pc]
+        opclass = instr.spec.opclass
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise SimulationError(
+                f"exceeded max_steps={self._max_steps} at pc={pc} "
+                f"({instr.render()})"
+            )
+        if opclass is OpClass.META:
+            self._exec_mark(instr)
+            pc += 1
+        elif opclass is OpClass.FREP:
+            pc = self._exec_frep(instr, pc, decoded)
+        elif instr.spec.thread is Thread.INT:
+            pc = self._step_int(instr, target, pc)
+        else:
+            self._step_fp(instr, pc)
+            pc += 1
+        self._pc = pc
+        return True
+
+    def result(self) -> RunResult:
+        """Measurements of everything executed since the last reset."""
+        return RunResult(cycles=self.now, counters=self.counters.copy(),
                          regions=dict(self._regions))
+
+    def run(self, program: Program,
+            max_steps: int = 200_000_000) -> RunResult:
+        """Execute *program* to completion and return measurements."""
+        self.bind(program, max_steps)
+        while self.step():
+            pass
+        return self.result()
+
+    # -- TCDM bank arbitration (cluster timing hook) --------------------
+    def _tcdm_access(self, addr: int, nbytes: int, start: int) -> int:
+        """Earliest cycle ≥ *start* the banked TCDM grants this access."""
+        return self.tcdm.access(self.core_id, addr, nbytes, start)
+
+    # -- asynchronous DMA (cluster bandwidth/latency model) -------------
+    def _exec_dma_start(self, dst: int, src: int, length: int,
+                        start: int) -> None:
+        """Queue a tile transfer; publish the data at its completion.
+
+        The copy is applied immediately (program order) so functional
+        state never depends on transfer timing; consumers observe the
+        modelled completion through the memory-RAW publication times,
+        which is what makes double-buffered pipelines overlap compute
+        with transfers.
+        """
+        if self.dma is not None:
+            done = self.dma.start(self.core_id, dst, src, length,
+                                  now=start + 1)
+        else:
+            done = start + 1
+        self.memory.copy_within(dst, src, length)
+        self._mem_commit(dst, length, done)
+        self.counters.dma_bytes_moved += length
+        self.counters.dma_transfers += 1
 
     # ------------------------------------------------------------------
     # markers
@@ -268,6 +337,16 @@ class Machine:
                 c.stall_mem_raw += t - start
                 start = t
 
+        # Banked-TCDM bank arbitration (cluster simulations only).
+        if self.tcdm is not None and (instr.spec.is_load
+                                      or instr.spec.is_store):
+            addr = (self.iregs[instr.mem_base.index] + instr.imm) \
+                & 0xFFFFFFFF
+            grant = self._tcdm_access(addr, 4, start)
+            if grant > start:
+                c.stall_tcdm += grant - start
+                start = grant
+
         lat = cfg.latencies[opclass]
 
         # Writeback-port structural hazard (single int-RF write port).
@@ -307,6 +386,27 @@ class Machine:
             self.ssr_enabled = True
         elif mnemonic == "ssr.disable":
             self.ssr_enabled = False
+        elif mnemonic == "dma.start":
+            self._exec_dma_start(
+                self.iregs[instr.operands[0].index],
+                self.iregs[instr.operands[1].index],
+                self.iregs[instr.operands[2].index],
+                start,
+            )
+        elif mnemonic == "dma.wait":
+            if self.dma is not None:
+                t = self.dma.core_drain_time(self.core_id)
+                if t > start:
+                    c.stall_dma += t - start
+                    start = t
+        elif mnemonic == "cluster.barrier":
+            c.barriers += 1
+            if self.cluster is not None:
+                # Implicit FPU fence: the core arrives only once its FP
+                # subsystem has drained.  The cluster driver parks this
+                # core until every active core has arrived.
+                self.barrier_arrival = max(start + 1, self.fp_time)
+                self.barrier_wait = True
         elif mnemonic == "ret":
             self.int_time = start + 1
             c.int_issued += 1
@@ -431,6 +531,11 @@ class Machine:
                     if avail > start:
                         c.fp_stall_ssr += avail - start
                         start = avail
+                    if self.tcdm is not None:
+                        grant = self._tcdm_access(addr, 8, start)
+                        if grant > start:
+                            c.fp_stall_tcdm += grant - start
+                            start = grant
                     values.append(mem.read_f64(addr))
                     ssr.advance()
                     ssr.last_pop_time = start
@@ -456,6 +561,12 @@ class Machine:
             t = self._mem_time(addr, 8)
             if t > start:
                 start = t
+            if self.tcdm is not None:
+                width = 8 if mnemonic == "fld" else 4
+                grant = self._tcdm_access(addr, width, start)
+                if grant > start:
+                    c.fp_stall_tcdm += grant - start
+                    start = grant
             issue, wb = self._reserve_wb(self.fp_wb_busy, start, lat,
                                          cfg.fp_wb_ports)
             if issue > start:
@@ -464,7 +575,7 @@ class Machine:
             if mnemonic == "fld":
                 value = mem.read_f64(addr)
             else:
-                value = struct.unpack_from("<f", mem.data, addr)[0]
+                value = mem.read_f32(addr)
             dest = instr.operands[0]
             self.fregs[dest.index] = value
             self.fp_ready[dest.index] = wb
@@ -472,12 +583,17 @@ class Machine:
             addr = (self.iregs[instr.mem_base.index] + instr.imm) \
                 & 0xFFFFFFFF
             value = values[0]
+            width = 8 if mnemonic == "fsd" else 4
+            if self.tcdm is not None:
+                grant = self._tcdm_access(addr, width, start)
+                if grant > start:
+                    c.fp_stall_tcdm += grant - start
+                    start = grant
             if mnemonic == "fsd":
                 mem.write_f64(addr, value)
-                self._mem_commit(addr, 8, start + lat)
             else:
-                struct.pack_into("<f", mem.data, addr, value)
-                self._mem_commit(addr, 4, start + lat)
+                mem.write_f32(addr, value)
+            self._mem_commit(addr, width, start + lat)
         elif instr.fp_writes:
             compute = FP_COMPUTE.get(mnemonic)
             if compute is None:
@@ -491,6 +607,11 @@ class Machine:
                 else None
             if ssr is not None and ssr.armed and ssr.is_write:
                 addr = ssr.peek_address(self._read_index)
+                if self.tcdm is not None:
+                    grant = self._tcdm_access(addr, 8, start)
+                    if grant > start:
+                        c.fp_stall_tcdm += grant - start
+                        start = grant
                 mem.write_f64(addr, result)
                 ssr.advance()
                 ssr.last_pop_time = start

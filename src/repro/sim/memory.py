@@ -2,8 +2,12 @@
 
 The Snitch cluster's L1 is a banked scratchpad (TCDM).  Functionally we
 model it as a flat bytearray with typed accessors; NumPy helpers move whole
-arrays in and out for test setup and verification.  Timing effects
-(latency, banking) live in the core timing model, not here.
+arrays in and out for test setup and verification.  Timing effects live
+elsewhere: per-access latency in the core timing model, bank arbitration
+in :mod:`repro.cluster.tcdm`.  Scalar accessors require natural alignment
+(2/4/8-byte accesses on matching boundaries), as the TCDM interconnect
+does; the bulk NumPy helpers are host-side conveniences and only
+range-check.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import numpy as np
 
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
+_F32 = struct.Struct("<f")
 _F64 = struct.Struct("<d")
 
 
@@ -34,12 +39,32 @@ class Memory:
         self.size = size
         self.data = bytearray(size)
 
-    def _check(self, addr: int, width: int) -> None:
+    def _check(self, addr: int, width: int, align: int = 1) -> None:
         if addr < 0 or addr + width > self.size:
             raise MemoryError_(
                 f"access of {width} bytes at 0x{addr:x} outside "
                 f"memory of size 0x{self.size:x}"
             )
+        if align > 1 and addr % align:
+            raise MemoryError_(
+                f"misaligned access of {width} bytes at 0x{addr:x} "
+                f"(requires {align}-byte alignment)"
+            )
+
+    def check_range(self, addr: int, nbytes: int) -> None:
+        """Validate a bulk [addr, addr+nbytes) range (DMA transfers)."""
+        self._check(addr, nbytes)
+
+    def copy_within(self, dst: int, src: int, nbytes: int) -> None:
+        """Checked bulk copy (the DMA engines' functional data path).
+
+        Bounds-checks both ranges first: a raw bytearray slice
+        assignment would silently grow or shrink the image on an
+        out-of-range destination.
+        """
+        self._check(src, nbytes)
+        self._check(dst, nbytes)
+        self.data[dst:dst + nbytes] = self.data[src:src + nbytes]
 
     # -- scalar accessors --------------------------------------------------
     def read_u8(self, addr: int) -> int:
@@ -51,35 +76,43 @@ class Memory:
         self.data[addr] = value & 0xFF
 
     def read_u16(self, addr: int) -> int:
-        self._check(addr, 2)
+        self._check(addr, 2, align=2)
         return int.from_bytes(self.data[addr:addr + 2], "little")
 
     def write_u16(self, addr: int, value: int) -> None:
-        self._check(addr, 2)
+        self._check(addr, 2, align=2)
         self.data[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
 
     def read_u32(self, addr: int) -> int:
-        self._check(addr, 4)
+        self._check(addr, 4, align=4)
         return _U32.unpack_from(self.data, addr)[0]
 
     def write_u32(self, addr: int, value: int) -> None:
-        self._check(addr, 4)
+        self._check(addr, 4, align=4)
         _U32.pack_into(self.data, addr, value & 0xFFFFFFFF)
 
     def read_u64(self, addr: int) -> int:
-        self._check(addr, 8)
+        self._check(addr, 8, align=8)
         return _U64.unpack_from(self.data, addr)[0]
 
     def write_u64(self, addr: int, value: int) -> None:
-        self._check(addr, 8)
+        self._check(addr, 8, align=8)
         _U64.pack_into(self.data, addr, value & 0xFFFFFFFFFFFFFFFF)
 
+    def read_f32(self, addr: int) -> float:
+        self._check(addr, 4, align=4)
+        return _F32.unpack_from(self.data, addr)[0]
+
+    def write_f32(self, addr: int, value: float) -> None:
+        self._check(addr, 4, align=4)
+        _F32.pack_into(self.data, addr, value)
+
     def read_f64(self, addr: int) -> float:
-        self._check(addr, 8)
+        self._check(addr, 8, align=8)
         return _F64.unpack_from(self.data, addr)[0]
 
     def write_f64(self, addr: int, value: float) -> None:
-        self._check(addr, 8)
+        self._check(addr, 8, align=8)
         _F64.pack_into(self.data, addr, value)
 
     # -- bulk NumPy helpers --------------------------------------------------

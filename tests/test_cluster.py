@@ -1,0 +1,337 @@
+"""Cluster subsystem tests: banked TCDM, DMA, barriers, partitioning.
+
+Covers the edge cases the cluster model promises: single-core barriers,
+DMA transfers overrunning the TCDM capacity, bank-conflict counter
+correctness with two cores hammering one bank, and bit-identical
+1-core-cluster vs bare-``Machine`` runs.
+"""
+
+import pytest
+
+from repro.cluster import (
+    BankedTcdm,
+    ClusterConfig,
+    ClusterDma,
+    ClusterMachine,
+    ClusterWorkload,
+    choose_block,
+    partition_kernel,
+)
+from repro.isa.program import ProgramBuilder
+from repro.kernels.common import MAIN_REGION
+from repro.kernels.registry import kernel
+from repro.sim import Machine, Memory, MemoryError_, SimulationError
+
+
+def _loop_of_loads(addr: int, iters: int) -> ProgramBuilder:
+    """Tight lw loop hammering one address."""
+    b = ProgramBuilder()
+    b.li("a0", addr)
+    b.li("a1", 0)
+    b.li("a2", iters)
+    b.label("loop")
+    b.lw("t0", 0, "a0")
+    b.addi("a1", "a1", 1)
+    b.bne("a1", "a2", "loop")
+    return b
+
+
+class TestBankedTcdm:
+    def test_word_interleaving(self):
+        t = BankedTcdm(n_banks=4, bank_stagger_words=0)
+        assert t.bank_of(0, 0x0) == 0
+        assert t.bank_of(0, 0x4) == 1
+        assert t.bank_of(0, 0x10) == 0
+
+    def test_stagger_shifts_banks(self):
+        t = BankedTcdm(n_banks=4, bank_stagger_words=2)
+        assert t.bank_of(1, 0x0) == 2
+        assert t.bank_of(2, 0x0) == 0
+
+    def test_same_cycle_conflict_delays_second_core(self):
+        t = BankedTcdm(n_banks=4, bank_stagger_words=0)
+        assert t.access(0, 0x0, 4, 10) == 10
+        assert t.access(1, 0x0, 4, 10) == 11
+        bank = t.bank_of(0, 0x0)
+        assert t.stats[bank].conflict_cycles == 1
+        assert t.stats[bank].accesses == 2
+        assert t.total_conflict_cycles == 1
+
+    def test_same_core_shares_its_port(self):
+        t = BankedTcdm(n_banks=4, bank_stagger_words=0)
+        assert t.access(0, 0x0, 4, 10) == 10
+        assert t.access(0, 0x0, 4, 10) == 10
+        assert t.total_conflict_cycles == 0
+
+    def test_double_access_claims_two_banks(self):
+        t = BankedTcdm(n_banks=4, bank_stagger_words=0)
+        assert t.access(0, 0x0, 8, 5) == 5
+        # Core 1 touching either half is pushed out.
+        assert t.access(1, 0x4, 4, 5) == 6
+
+    def test_different_banks_no_conflict(self):
+        t = BankedTcdm(n_banks=4, bank_stagger_words=0)
+        assert t.access(0, 0x0, 4, 3) == 3
+        assert t.access(1, 0x4, 4, 3) == 3
+        assert t.total_conflict_cycles == 0
+
+    def test_disabled_never_stalls(self):
+        t = BankedTcdm(n_banks=1, bank_stagger_words=0, enabled=False)
+        assert t.access(0, 0x0, 4, 7) == 7
+        assert t.access(1, 0x0, 4, 7) == 7
+
+
+class TestClusterDma:
+    def test_bandwidth_and_latency(self):
+        dma = ClusterDma(bandwidth=8, setup_latency=16)
+        done = dma.start(0, 0x1000, 0x80000, 64, now=100)
+        assert done == 100 + 16 + 8
+        assert dma.bytes_moved == 64
+
+    def test_transfers_serialize(self):
+        dma = ClusterDma(bandwidth=8, setup_latency=16)
+        first = dma.start(0, 0x1000, 0x80000, 64, now=0)
+        second = dma.start(1, 0x2000, 0x81000, 64, now=0)
+        assert second == first + 16 + 8
+        assert dma.core_drain_time(0) == first
+        assert dma.core_drain_time(1) == second
+
+    def test_tcdm_overrun_rejected(self):
+        dma = ClusterDma(bandwidth=8, setup_latency=16,
+                         tcdm_size=0x1000)
+        with pytest.raises(MemoryError_, match="overruns"):
+            dma.start(0, 0x0F00, 0x80000, 0x200, now=0)
+        # Entirely inside TCDM or entirely in L2 is fine.
+        dma.start(0, 0x0E00, 0x80000, 0x100, now=0)
+
+    def test_machine_dma_start_overrun(self):
+        """End-to-end: dma.start overrunning the TCDM raises."""
+        config = ClusterConfig(n_cores=1, tcdm_size=0x2000)
+        cluster = ClusterMachine(config=config)
+        b = ProgramBuilder()
+        b.li("t0", 0x1F00)        # dst: tail of the TCDM
+        b.li("t1", 0x4000)        # src: "L2"
+        b.li("t2", 0x400)         # overruns by 0x300
+        b.dma_start("t0", "t1", "t2")
+        cluster.add_core(b.build(), Memory(1 << 16))
+        with pytest.raises(MemoryError_, match="overruns"):
+            cluster.run()
+
+
+class TestBarrier:
+    def test_single_core_barrier_releases(self):
+        """A 1-core barrier must release immediately, not deadlock."""
+        config = ClusterConfig(n_cores=1, barrier_latency=4)
+        cluster = ClusterMachine(config=config)
+        b = ProgramBuilder()
+        b.li("a0", 1)
+        b.cluster_barrier()
+        b.li("a1", 2)
+        machine = cluster.add_core(b.build(), Memory(1 << 12))
+        result = cluster.run()
+        assert result.barrier_count == 1
+        assert machine.iregs[11] == 2          # ran past the barrier
+        # li, barrier, li, plus the barrier release latency.
+        assert result.cycles == 2 + config.barrier_latency + 1
+
+    def test_barrier_aligns_cores(self):
+        """The fast core waits for the slow one."""
+        config = ClusterConfig(n_cores=2, barrier_latency=4,
+                               model_bank_conflicts=False)
+        cluster = ClusterMachine(config=config)
+        slow = ProgramBuilder()
+        slow.li("a1", 0)
+        slow.li("a2", 100)
+        slow.label("spin")
+        slow.addi("a1", "a1", 1)
+        slow.bne("a1", "a2", "spin")
+        slow.cluster_barrier()
+        fast = ProgramBuilder()
+        fast.cluster_barrier()
+        m0 = cluster.add_core(slow.build(), Memory(1 << 12))
+        m1 = cluster.add_core(fast.build(), Memory(1 << 12))
+        result = cluster.run()
+        assert result.barrier_count == 1
+        # Both cores end at the same release time.
+        assert m0.int_time == m1.int_time
+        assert m1.counters.stall_barrier > \
+            m0.counters.stall_barrier
+
+    def test_standalone_machine_treats_barrier_as_nop(self):
+        b = ProgramBuilder()
+        b.cluster_barrier()
+        b.li("a0", 5)
+        machine = Machine()
+        result = machine.run(b.build())
+        assert machine.iregs[10] == 5
+        assert result.counters.barriers == 1
+
+    def test_barrier_mismatch_raises(self):
+        config = ClusterConfig(n_cores=2)
+        cluster = ClusterMachine(config=config)
+        with_barrier = ProgramBuilder()
+        with_barrier.cluster_barrier()
+        without = ProgramBuilder()
+        without.nop()
+        cluster.add_core(with_barrier.build(), Memory(1 << 12))
+        cluster.add_core(without.build(), Memory(1 << 12))
+        with pytest.raises(SimulationError, match="barrier mismatch"):
+            cluster.run()
+
+
+class TestAtomics:
+    def test_amoadd_accumulates_across_cores(self):
+        """Two cores fetch-and-add into one shared counter."""
+        shared = Memory(1 << 12)
+        config = ClusterConfig(n_cores=2, model_bank_conflicts=False)
+        cluster = ClusterMachine(config=config)
+        for _ in range(2):
+            b = ProgramBuilder()
+            b.li("a0", 0x100)
+            b.li("a1", 0)
+            b.li("a2", 50)
+            b.li("a3", 1)
+            b.label("loop")
+            b.amoadd_w("t0", 0, "a0", "a3")
+            b.addi("a1", "a1", 1)
+            b.bne("a1", "a2", "loop")
+            cluster.add_core(b.build(), shared)
+        result = cluster.run()
+        assert shared.read_u32(0x100) == 100
+        assert result.counters.amo_ops == 100
+
+    def test_amoadd_returns_old_value(self):
+        b = ProgramBuilder()
+        b.li("a0", 0x40)
+        b.li("a1", 7)
+        b.sw("a1", 0, "a0")
+        b.li("a2", 5)
+        b.amoadd_w("t0", 0, "a0", "a2")
+        machine = Machine()
+        machine.run(b.build())
+        assert machine.iregs[5] == 7               # t0 = old value
+        assert machine.memory.read_u32(0x40) == 12
+
+
+class TestTwoCoresOneBank:
+    """Bank-conflict counter correctness under directed contention."""
+
+    def test_conflicts_counted_and_attributed(self):
+        config = ClusterConfig(n_cores=2, tcdm_banks=8,
+                               bank_stagger_words=0)
+        cluster = ClusterMachine(config=config)
+        m0 = cluster.add_core(_loop_of_loads(0x200, 64).build(),
+                              Memory(1 << 12))
+        m1 = cluster.add_core(_loop_of_loads(0x200, 64).build(),
+                              Memory(1 << 12))
+        result = cluster.run()
+        bank = cluster.tcdm.bank_of(0, 0x200)
+        # Every conflict cycle lands on the hammered bank...
+        assert result.tcdm_bank_conflicts[bank] > 0
+        assert sum(result.tcdm_bank_conflicts) == \
+            result.tcdm_bank_conflicts[bank]
+        # ... and the stall cycles the cores observed equal the
+        # arbiter's conflict tally exactly.
+        stalls = (m0.counters.stall_tcdm + m1.counters.stall_tcdm)
+        assert stalls == result.tcdm_conflict_cycles
+
+    def test_stagger_removes_lockstep_conflicts(self):
+        config = ClusterConfig(n_cores=2, tcdm_banks=8,
+                               bank_stagger_words=2)
+        cluster = ClusterMachine(config=config)
+        cluster.add_core(_loop_of_loads(0x200, 64).build(),
+                         Memory(1 << 12))
+        cluster.add_core(_loop_of_loads(0x200, 64).build(),
+                         Memory(1 << 12))
+        result = cluster.run()
+        assert result.tcdm_conflict_cycles == 0
+
+
+class TestPartition:
+    def test_one_core_cluster_is_bit_identical(self):
+        """N=1 cluster == bare Machine, cycles and counters."""
+        kd = kernel("pi_lcg")
+        for variant in ("baseline", "copift"):
+            build = kd.build_baseline if variant == "baseline" \
+                else kd.build_copift
+            solo_result, _ = build(512).run()
+            workload = partition_kernel(kd, 512, 1, variant=variant)
+            cluster_result = workload.run()
+            core = cluster_result.core_results[0]
+            assert core.cycles == solo_result.cycles, variant
+            assert vars(core.counters) == vars(solo_result.counters), \
+                variant
+            main = cluster_result.region(MAIN_REGION)
+            assert main.cycles == \
+                solo_result.region(MAIN_REGION).cycles
+
+    def test_chunks_scale_down_with_cores(self):
+        workload = partition_kernel(kernel("pi_lcg"), 1024, 4)
+        assert workload.n_cores == 4
+        assert len(workload.instances) == 4
+        assert all(i.n == 256 for i in workload.instances)
+
+    def test_per_core_seeds_differ(self):
+        workload = partition_kernel(kernel("pi_lcg"), 512, 2)
+        r = workload.run(check=True)  # verifies both chunks
+        hits = [inst.memory.read_u32(inst.memory.read_u32(0) or 0x1000)
+                for inst in workload.instances]
+        # Different seeds -> almost surely different hit counts.
+        assert hits[0] != hits[1]
+
+    def test_uneven_chunking_rejected(self):
+        with pytest.raises(ValueError, match="chunk evenly"):
+            partition_kernel(kernel("pi_lcg"), 1000, 3)
+
+    def test_choose_block_constraints(self):
+        assert choose_block(512, 64) == 64
+        block = choose_block(128, 64)
+        assert block % 8 == 0
+        assert 128 % block == 0
+        assert 128 // block >= 3
+        with pytest.raises(ValueError):
+            choose_block(16, 64)
+
+    def test_multicore_runs_verify(self):
+        workload = partition_kernel(kernel("poly_lcg"), 1024, 4,
+                                    variant="copift")
+        result = workload.run(check=True)
+        assert result.barrier_count == 1
+        assert result.cycles > 0
+
+    def test_dma_staged_vector_kernel_verifies(self):
+        """expf inputs travel L2 -> TCDM through the DMA engine."""
+        workload = partition_kernel(kernel("expf"), 512, 2,
+                                    variant="copift")
+        assert all(i.notes.get("dma_staged")
+                   for i in workload.instances)
+        result = workload.run(check=True)   # verify => data arrived
+        assert result.dma_bytes == 512 * 8  # both chunks staged
+        assert result.counters.dma_transfers > 0
+
+    def test_workload_dataclass_fields(self):
+        workload = partition_kernel(kernel("logf"), 256, 2,
+                                    variant="copift")
+        assert isinstance(workload, ClusterWorkload)
+        assert workload.block is not None
+        assert workload.n == 256
+
+
+class TestClusterMachineGuards:
+    def test_too_many_cores_rejected(self):
+        cluster = ClusterMachine(config=ClusterConfig(n_cores=1))
+        b = ProgramBuilder()
+        b.nop()
+        cluster.add_core(b.build(), Memory(1 << 12))
+        with pytest.raises(ValueError, match="configured for 1"):
+            cluster.add_core(b.build(), Memory(1 << 12))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError, match="no cores"):
+            ClusterMachine().run()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(dma_bandwidth=0)

@@ -1,0 +1,75 @@
+"""CLI tests: artifact routing, --out for every artifact, --json."""
+
+import json
+
+import pytest
+
+from repro.eval import clusterscale
+from repro.eval.__main__ import main
+from repro.eval.io import clusterscale_payload, write_output
+
+
+class TestClusterScaleArtifact:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return clusterscale.generate(n=512, cores=(1, 2))
+
+    def test_all_kernels_both_variants(self, data):
+        names = {(r.name, r.variant) for r in data.rows}
+        assert len(names) == 12
+
+    def test_one_core_column_matches_single_machine(self, data):
+        from repro.eval import measure_kernel
+        from repro.kernels.registry import kernel
+
+        row = data.row("pi_lcg", "baseline")
+        m = measure_kernel(kernel("pi_lcg"), n=512)
+        assert row.point(1).cycles == m.baseline.cycles
+
+    def test_speedup_positive_and_bounded(self, data):
+        for row in data.rows:
+            p = row.point(2)
+            assert 1.0 < p.speedup < 2.05, (row.name, row.variant)
+            assert p.efficiency == pytest.approx(p.speedup / 2)
+
+    def test_render_lists_everything(self, data):
+        text = clusterscale.render(data)
+        assert "Cluster scaling" in text
+        for row in data.rows:
+            assert row.name in text
+
+    def test_payload_round_trips_through_json(self, data):
+        payload = clusterscale_payload(data)
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["cores"] == [1, 2]
+        assert len(parsed["rows"]) == 12
+
+
+class TestOutRouting:
+    def test_clusterscale_out(self, tmp_path):
+        out = tmp_path / "cs.txt"
+        assert main(["clusterscale", "--n", "512", "--cores", "1,2",
+                     "--out", str(out)]) == 0
+        assert "Cluster scaling" in out.read_text()
+
+    def test_clusterscale_json(self, tmp_path):
+        out = tmp_path / "cs.json"
+        assert main(["clusterscale", "--n", "512", "--cores", "1,2",
+                     "--json", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["n"] == 512
+
+    def test_table1_out(self, tmp_path):
+        out = tmp_path / "t1.txt"
+        assert main(["table1", "--n", "256", "--out", str(out)]) == 0
+        assert "Table I" in out.read_text()
+
+    def test_write_output_stdout(self, capsys):
+        write_output("hello", {"k": 1}, out=None, as_json=False)
+        assert capsys.readouterr().out == "hello\n"
+        write_output("hello", {"k": 1}, out=None, as_json=True)
+        assert json.loads(capsys.readouterr().out) == {"k": 1}
+
+    def test_bad_cores_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["clusterscale", "--cores", "zero"])

@@ -44,9 +44,23 @@ class TestScalarAccess:
     def test_out_of_range(self):
         m = Memory(64)
         with pytest.raises(MemoryError_):
-            m.read_u32(62)
+            m.read_u32(60 + 4)
         with pytest.raises(MemoryError_):
             m.write_u64(-8, 0)
+
+    def test_misaligned_rejected(self):
+        m = Memory(64)
+        with pytest.raises(MemoryError_, match="misaligned"):
+            m.read_u32(2)
+        with pytest.raises(MemoryError_, match="misaligned"):
+            m.write_u64(4, 0)
+        with pytest.raises(MemoryError_, match="misaligned"):
+            m.read_f64(12)
+        with pytest.raises(MemoryError_, match="misaligned"):
+            m.write_u16(1, 0)
+        # Byte accesses have no alignment requirement.
+        m.write_u8(3, 7)
+        assert m.read_u8(3) == 7
 
     def test_u16(self):
         m = Memory(64)
@@ -78,9 +92,10 @@ class TestArrays:
 
 
 @given(st.integers(min_value=0, max_value=2 ** 64 - 1),
-       st.integers(min_value=0, max_value=56))
-def test_u64_roundtrip_property(value, addr):
+       st.integers(min_value=0, max_value=7))
+def test_u64_roundtrip_property(value, word):
     m = Memory(64)
+    addr = word * 8
     m.write_u64(addr, value)
     assert m.read_u64(addr) == value
 
