@@ -158,19 +158,25 @@ class ClusterMachine:
         if not self.cores:
             raise ValueError("cluster has no cores; call add_core first")
         for machine, program in zip(self.cores, self._programs):
+            # Cores sharing one Program object share its decode: the
+            # DecodedProgram cache rides on the Program itself.
             machine.bind(program, max_steps)
         active = [m for m in self.cores]
         finished: list[Machine] = []
+        # The driver loop runs once per dynamic instruction; talk to the
+        # cores' schedulers directly rather than through the Machine
+        # facade's delegating properties.
         while active:
-            runnable = [m for m in active if not m.barrier_wait]
+            runnable = [m for m in active if not m.sched.barrier_wait]
             if not runnable:
                 self._release_barrier(active, finished)
                 continue
             # Step the core furthest behind on its issue timeline so
             # shared-resource claims happen in (approximate) cycle
             # order.  Ties break by core id: deterministic.
-            machine = min(runnable, key=lambda m: (m.int_time, m.core_id))
-            if not machine.step():
+            machine = min(runnable,
+                          key=lambda m: (m.sched.int_time, m.core_id))
+            if not machine.sched.step():
                 active.remove(machine)
                 finished.append(machine)
         results = [m.result() for m in self.cores]

@@ -1,6 +1,8 @@
 """Evaluation harness: the paper's Table I and Figures 2-3, plus the
-cluster-scaling artifact (``clusterscale``)."""
+cluster-scaling artifact (``clusterscale``) and the process-parallel
+sweep sharding behind ``--jobs`` (:mod:`repro.eval.parallel`)."""
 
+from .parallel import default_jobs, run_sharded
 from .runner import (
     KernelMeasurement,
     VariantMeasurement,
@@ -12,7 +14,9 @@ from .runner import (
 __all__ = [
     "KernelMeasurement",
     "VariantMeasurement",
+    "default_jobs",
     "geomean",
     "measure_instance",
     "measure_kernel",
+    "run_sharded",
 ]

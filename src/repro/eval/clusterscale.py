@@ -19,6 +19,7 @@ from ..energy import ClusterEnergyModel
 from ..kernels.common import MAIN_REGION
 from ..kernels.registry import KERNELS
 from ..sim import CoreConfig
+from .parallel import run_sharded
 
 DEFAULT_CORES = (1, 2, 4, 8)
 
@@ -65,62 +66,91 @@ class ClusterScaleData:
         raise KeyError(f"no row {name}/{variant}")
 
 
+def _measure_cell(cell: tuple) -> dict:
+    """One (kernel, variant, core-count) simulation — the shard worker.
+
+    Module-level and fed only picklable payloads so
+    :func:`~repro.eval.parallel.run_sharded` can dispatch it to worker
+    processes.  Returns primitives; cross-cell derived values (speedup,
+    efficiency) are computed by the merger, which is what keeps the
+    ``--jobs N`` payload bit-identical to the sequential one.
+    """
+    kernel_name, variant, n, n_cores, config, core_config, check = cell
+    kernel_def = KERNELS[kernel_name]
+    workload = partition_kernel(kernel_def, n, n_cores,
+                                variant=variant)
+    result = workload.run(config=config, core_config=core_config,
+                          check=check)
+    region = result.region(MAIN_REGION)
+    cycles = region.cycles
+    # DMA energy is priced on the kernels' *conceptual* traffic (input
+    # staging + output drain), exactly as Figure 2 prices the same
+    # instances — the engine's measured bytes cover only the transfers
+    # the cluster actually models (staged inputs), which would make the
+    # 1-core power column disagree with Fig. 2.
+    dma_bytes = sum(i.dma_bytes for i in workload.instances)
+    power = ClusterEnergyModel().report(
+        region.counters, cycles, n_cores,
+        n_banks=config.tcdm_banks,
+        tcdm_accesses=result.tcdm_accesses,
+        tcdm_conflict_cycles=result.tcdm_conflict_cycles,
+        dma_bytes=dma_bytes,
+        dma_transfers=result.counters.dma_transfers,
+        barriers=result.barrier_count,
+        dma_active=any(i.dma_active for i in workload.instances),
+    )
+    return {
+        "cycles": cycles,
+        "tcdm_conflict_cycles": result.tcdm_conflict_cycles,
+        "dma_bytes": result.dma_bytes,
+        "barrier_count": result.barrier_count,
+        "power_mw": power.power_mw,
+    }
+
+
 def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
              config: ClusterConfig | None = None,
              core_config: CoreConfig | None = None,
-             check: bool = False) -> ClusterScaleData:
+             check: bool = False, jobs: int = 1) -> ClusterScaleData:
     """Run the full scaling sweep.
 
     *cores* is normalized to ascending unique counts; speedups are
     relative to the smallest swept count (1 in the default sweep).
+    With ``jobs > 1`` the (kernel x variant x core-count) cells are
+    sharded over host processes; results are merged in sweep order, so
+    the output is identical to a sequential run.
     """
     cores = tuple(sorted(set(cores)))
     base_config = config or ClusterConfig()
-    energy = ClusterEnergyModel()
+    cells = [
+        (kernel_def.name, variant, n, n_cores, base_config,
+         core_config, check)
+        for kernel_def in KERNELS.values()
+        for variant in ("baseline", "copift")
+        for n_cores in cores
+    ]
+    measured = iter(run_sharded(_measure_cell, cells, jobs=jobs))
+
     rows = []
     for kernel_def in KERNELS.values():
         for variant in ("baseline", "copift"):
             points = []
             base_cycles = None
             for n_cores in cores:
-                workload = partition_kernel(kernel_def, n, n_cores,
-                                            variant=variant)
-                result = workload.run(config=base_config,
-                                      core_config=core_config,
-                                      check=check)
-                region = result.region(MAIN_REGION)
-                cycles = region.cycles
+                cell = next(measured)
+                cycles = cell["cycles"]
                 if base_cycles is None:
                     base_cycles = cycles
-                # DMA energy is priced on the kernels' *conceptual*
-                # traffic (input staging + output drain), exactly as
-                # Figure 2 prices the same instances — the engine's
-                # measured bytes cover only the transfers the cluster
-                # actually models (staged inputs), which would make the
-                # 1-core power column disagree with Fig. 2.
-                dma_bytes = sum(i.dma_bytes
-                                for i in workload.instances)
-                power = energy.report(
-                    region.counters, cycles, n_cores,
-                    n_banks=base_config.tcdm_banks,
-                    tcdm_accesses=result.tcdm_accesses,
-                    tcdm_conflict_cycles=result.tcdm_conflict_cycles,
-                    dma_bytes=dma_bytes,
-                    dma_transfers=result.counters.dma_transfers,
-                    barriers=result.barrier_count,
-                    dma_active=any(i.dma_active
-                                   for i in workload.instances),
-                )
                 speedup = base_cycles / cycles
                 points.append(ScalePoint(
                     cores=n_cores,
                     cycles=cycles,
                     speedup=speedup,
                     efficiency=speedup * cores[0] / n_cores,
-                    tcdm_conflict_cycles=result.tcdm_conflict_cycles,
-                    dma_bytes=result.dma_bytes,
-                    barrier_count=result.barrier_count,
-                    power_mw=power.power_mw,
+                    tcdm_conflict_cycles=cell["tcdm_conflict_cycles"],
+                    dma_bytes=cell["dma_bytes"],
+                    barrier_count=cell["barrier_count"],
+                    power_mw=cell["power_mw"],
                 ))
             rows.append(ScaleRow(kernel_def.name, variant,
                                  tuple(points)))

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..kernels.registry import KERNELS
 from ..sim import CoreConfig
+from .parallel import run_sharded
 from .runner import measure_instance
 
 #: The paper's sweep grid.
@@ -67,25 +68,43 @@ class Fig3Data:
         return max(row, key=row.get)
 
 
+def _measure_cell(cell: tuple) -> float:
+    """One (problem, block) IPC measurement — the shard worker.
+
+    Module-level with a picklable payload so
+    :func:`~repro.eval.parallel.run_sharded` can run it in worker
+    processes; deterministic, so sharding cannot change the grid.
+    """
+    kernel_name, padded, block, config = cell
+    instance = KERNELS[kernel_name].build_copift(padded, block=block)
+    return measure_instance(instance, config=config, check=False).ipc
+
+
 def generate(block_sizes: tuple[int, ...] = DEFAULT_BLOCK_SIZES,
              problem_sizes: tuple[int, ...] = DEFAULT_PROBLEM_SIZES,
              kernel_name: str = "poly_lcg",
              config: CoreConfig | None = None,
-             full: bool = False) -> Fig3Data:
-    """Run the block/problem-size sweep."""
+             full: bool = False, jobs: int = 1) -> Fig3Data:
+    """Run the block/problem-size sweep.
+
+    With ``jobs > 1`` the grid cells are sharded over host processes
+    (each cell is one independent simulation); the grid is assembled in
+    sweep order and identical to a sequential run.
+    """
     if full:
         block_sizes = PAPER_BLOCK_SIZES
         problem_sizes = PAPER_PROBLEM_SIZES
-    kernel_def = KERNELS[kernel_name]
+    cells = [
+        (kernel_name, _round_to_multiple(n, block), block, config)
+        for n in problem_sizes
+        for block in block_sizes
+    ]
+    measured = iter(run_sharded(_measure_cell, cells, jobs=jobs))
     ipc: dict[int, dict[int, float]] = {}
     for n in problem_sizes:
         ipc[n] = {}
         for block in block_sizes:
-            padded = _round_to_multiple(n, block)
-            instance = kernel_def.build_copift(padded, block=block)
-            variant = measure_instance(instance, config=config,
-                                       check=False)
-            ipc[n][block] = variant.ipc
+            ipc[n][block] = next(measured)
     return Fig3Data(tuple(block_sizes), tuple(problem_sizes), ipc)
 
 

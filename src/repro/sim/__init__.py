@@ -13,8 +13,10 @@ Public surface:
 
 from .config import CoreConfig, DEFAULT_LATENCIES
 from .counters import Counters, RegionMeasurement, RunResult
+from .decode import DecodedProgram, MicroOp
 from .machine import Machine, SimulationError
 from .memory import Allocator, Memory, MemoryError_
+from .scheduler import Scheduler
 from .ssr import SSR, SSRError, encode_cfg_imm, decode_cfg_imm
 from .trace import TraceEvent, dual_issue_cycles, lane_utilization, \
     render_timeline
@@ -24,13 +26,16 @@ __all__ = [
     "CoreConfig",
     "Counters",
     "DEFAULT_LATENCIES",
+    "DecodedProgram",
     "Machine",
     "Memory",
     "MemoryError_",
+    "MicroOp",
     "RegionMeasurement",
     "RunResult",
     "SSR",
     "SSRError",
+    "Scheduler",
     "SimulationError",
     "TraceEvent",
     "decode_cfg_imm",

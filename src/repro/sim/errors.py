@@ -1,0 +1,7 @@
+"""Simulator exception types (shared by decode, scheduler and machine)."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Illegal program behaviour detected by the machine model."""

@@ -5,6 +5,12 @@ Split by execution engine:
 * :data:`INT_HANDLERS` — integer-core instructions, as functions
   ``(machine, instr) -> taken`` mutating machine state; branches return
   whether they were taken.
+* :data:`INT_BINDERS` — the micro-op form of the same semantics: a
+  binder ``(instr) -> (machine) -> taken`` that extracts the operand
+  register indices and immediate *once*, at decode time, and returns a
+  closure the hot loop calls with zero per-step operand resolution
+  (see :mod:`repro.sim.decode`).  Both tables are generated from one
+  set of pure operation functions, so they cannot drift apart.
 * :data:`FP_COMPUTE` — pure value functions for FP-thread instructions
   that write an FP register.  Operand values arrive in role order (FP
   sources first, then integer sources for cross-RF conversions).
@@ -62,6 +68,81 @@ def _to_f32(value: float) -> float:
 # ---------------------------------------------------------------------------
 # Integer-core handlers
 # ---------------------------------------------------------------------------
+#
+# The pure operation tables (_RR_OPS/_RI_OPS/_BRANCH_OPS) are the single
+# source of truth for the register-register/-immediate/branch semantics.
+# They are compiled into two callable forms that cannot drift apart:
+#
+# * ``INT_HANDLERS[mnemonic](machine, instr)`` — the interpreter form,
+#   resolving operands on every call (tests, tooling, ad-hoc use);
+# * ``INT_BINDERS[mnemonic](instr) -> (machine)`` — the micro-op form:
+#   operand indices and immediates are extracted once per static
+#   instruction and baked into the returned closure, so the simulator's
+#   hot loop does no per-step operand resolution at all.
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return _MASK32
+    sa, sb = s32(a), s32(b)
+    if sa == _INT32_MIN and sb == -1:
+        return u32(_INT32_MIN)
+    return u32(int(math.trunc(sa / sb)))
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    sa, sb = s32(a), s32(b)
+    if sa == _INT32_MIN and sb == -1:
+        return 0
+    return u32(sa - sb * int(math.trunc(sa / sb)))
+
+
+#: Register-register ops: pure (a, b) -> int (result masked on write).
+_RR_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & 31),
+    "srl": lambda a, b: a >> (b & 31),
+    "sra": lambda a, b: s32(a) >> (b & 31),
+    "slt": lambda a, b: int(s32(a) < s32(b)),
+    "sltu": lambda a, b: int(a < b),
+    "mul": lambda a, b: a * b,
+    "mulh": lambda a, b: (s32(a) * s32(b)) >> 32,
+    "mulhu": lambda a, b: (a * b) >> 32,
+    "mulhsu": lambda a, b: (s32(a) * b) >> 32,
+    "div": _div,
+    "divu": lambda a, b: _MASK32 if b == 0 else a // b,
+    "rem": _rem,
+    "remu": lambda a, b: a if b == 0 else a % b,
+}
+
+#: Register-immediate ops: pure (a, imm) -> int.
+_RI_OPS = {
+    "addi": lambda a, i: a + i,
+    "andi": lambda a, i: a & u32(i),
+    "ori": lambda a, i: a | u32(i),
+    "xori": lambda a, i: a ^ u32(i),
+    "slli": lambda a, i: a << (i & 31),
+    "srli": lambda a, i: a >> (i & 31),
+    "srai": lambda a, i: s32(a) >> (i & 31),
+    "slti": lambda a, i: int(s32(a) < i),
+    "sltiu": lambda a, i: int(a < u32(i)),
+}
+
+#: Two-source branches: pure (a, b) -> taken.
+_BRANCH_OPS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: s32(a) < s32(b),
+    "bge": lambda a, b: s32(a) >= s32(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
 
 def _rr(op):
     """Register-register ALU op from a pure (a, b) -> int function."""
@@ -90,59 +171,10 @@ def _branch(cond):
     return handler
 
 
-def _div(a: int, b: int) -> int:
-    if b == 0:
-        return _MASK32
-    sa, sb = s32(a), s32(b)
-    if sa == _INT32_MIN and sb == -1:
-        return u32(_INT32_MIN)
-    return u32(int(math.trunc(sa / sb)))
-
-
-def _rem(a: int, b: int) -> int:
-    if b == 0:
-        return a
-    sa, sb = s32(a), s32(b)
-    if sa == _INT32_MIN and sb == -1:
-        return 0
-    return u32(sa - sb * int(math.trunc(sa / sb)))
-
-
-INT_HANDLERS = {
-    "add": _rr(lambda a, b: a + b),
-    "sub": _rr(lambda a, b: a - b),
-    "and": _rr(lambda a, b: a & b),
-    "or": _rr(lambda a, b: a | b),
-    "xor": _rr(lambda a, b: a ^ b),
-    "sll": _rr(lambda a, b: a << (b & 31)),
-    "srl": _rr(lambda a, b: a >> (b & 31)),
-    "sra": _rr(lambda a, b: s32(a) >> (b & 31)),
-    "slt": _rr(lambda a, b: int(s32(a) < s32(b))),
-    "sltu": _rr(lambda a, b: int(a < b)),
-    "addi": _ri(lambda a, i: a + i),
-    "andi": _ri(lambda a, i: a & u32(i)),
-    "ori": _ri(lambda a, i: a | u32(i)),
-    "xori": _ri(lambda a, i: a ^ u32(i)),
-    "slli": _ri(lambda a, i: a << (i & 31)),
-    "srli": _ri(lambda a, i: a >> (i & 31)),
-    "srai": _ri(lambda a, i: s32(a) >> (i & 31)),
-    "slti": _ri(lambda a, i: int(s32(a) < i)),
-    "sltiu": _ri(lambda a, i: int(a < u32(i))),
-    "mul": _rr(lambda a, b: a * b),
-    "mulh": _rr(lambda a, b: (s32(a) * s32(b)) >> 32),
-    "mulhu": _rr(lambda a, b: (a * b) >> 32),
-    "mulhsu": _rr(lambda a, b: (s32(a) * b) >> 32),
-    "div": _rr(_div),
-    "divu": _rr(lambda a, b: _MASK32 if b == 0 else a // b),
-    "rem": _rr(_rem),
-    "remu": _rr(lambda a, b: a if b == 0 else a % b),
-    "beq": _branch(lambda a, b: a == b),
-    "bne": _branch(lambda a, b: a != b),
-    "blt": _branch(lambda a, b: s32(a) < s32(b)),
-    "bge": _branch(lambda a, b: s32(a) >= s32(b)),
-    "bltu": _branch(lambda a, b: a < b),
-    "bgeu": _branch(lambda a, b: a >= b),
-}
+INT_HANDLERS = {}
+INT_HANDLERS.update({m: _rr(op) for m, op in _RR_OPS.items()})
+INT_HANDLERS.update({m: _ri(op) for m, op in _RI_OPS.items()})
+INT_HANDLERS.update({m: _branch(op) for m, op in _BRANCH_OPS.items()})
 
 
 def _h_lui(m, instr):
@@ -247,6 +279,194 @@ INT_HANDLERS.update({
     "beqz": _h_beqz, "bnez": _h_bnez,
     "lw": _h_lw, "lh": _h_lh, "lbu": _h_lbu,
     "sw": _h_sw, "sh": _h_sh, "sb": _h_sb,
+})
+
+
+# ---------------------------------------------------------------------------
+# Micro-op binders (decode-time operand extraction)
+# ---------------------------------------------------------------------------
+
+def _bind_rr(op):
+    def bind(instr):
+        d = instr.operands[0].index
+        a = instr.operands[1].index
+        b = instr.operands[2].index
+
+        def run(m):
+            iregs = m.iregs
+            value = op(iregs[a], iregs[b]) & _MASK32
+            if d:
+                iregs[d] = value
+            return None
+        return run
+    return bind
+
+
+def _bind_ri(op):
+    def bind(instr):
+        d = instr.operands[0].index
+        a = instr.operands[1].index
+        imm = instr.imm
+
+        def run(m):
+            iregs = m.iregs
+            value = op(iregs[a], imm) & _MASK32
+            if d:
+                iregs[d] = value
+            return None
+        return run
+    return bind
+
+
+def _bind_branch(cond):
+    def bind(instr):
+        a = instr.operands[0].index
+        b = instr.operands[1].index
+
+        def run(m):
+            iregs = m.iregs
+            return cond(iregs[a], iregs[b])
+        return run
+    return bind
+
+
+def _bind_const(value_of):
+    """Destination <- compile-time constant (lui / li)."""
+    def bind(instr):
+        d = instr.operands[0].index
+        value = value_of(instr.imm) & _MASK32
+
+        def run(m):
+            if d:
+                m.iregs[d] = value
+            return None
+        return run
+    return bind
+
+
+def _bind_unary(op):
+    """Destination <- pure function of one source register (mv / not)."""
+    def bind(instr):
+        d = instr.operands[0].index
+        a = instr.operands[1].index
+
+        def run(m):
+            iregs = m.iregs
+            value = op(iregs[a]) & _MASK32
+            if d:
+                iregs[d] = value
+            return None
+        return run
+    return bind
+
+
+def _bind_nop(instr):
+    def run(m):
+        return None
+    return run
+
+
+def _bind_branchz(cond):
+    def bind(instr):
+        a = instr.operands[0].index
+
+        def run(m):
+            return cond(m.iregs[a])
+        return run
+    return bind
+
+
+def _bind_load(read):
+    """rd <- read(memory, addr); read returns a 32-bit-clean value."""
+    def bind(instr):
+        d = instr.operands[0].index
+        base = instr.operands[2].index
+        imm = instr.imm
+
+        def run(m):
+            value = read(m.memory, (m.iregs[base] + imm) & _MASK32)
+            if d:
+                m.iregs[d] = value & _MASK32
+            return None
+        return run
+    return bind
+
+
+def _bind_store(write):
+    def bind(instr):
+        src = instr.operands[0].index
+        base = instr.operands[2].index
+        imm = instr.imm
+
+        def run(m):
+            iregs = m.iregs
+            write(m.memory, (iregs[base] + imm) & _MASK32, iregs[src])
+            return None
+        return run
+    return bind
+
+
+def _read_lh(memory, addr):
+    value = memory.read_u16(addr)
+    if value >= 1 << 15:
+        value -= 1 << 16
+    return value
+
+
+def _bind_amoadd_w(instr):
+    d = instr.operands[0].index
+    base = instr.operands[2].index
+    src = instr.operands[3].index
+    imm = instr.imm
+
+    def run(m):
+        iregs = m.iregs
+        memory = m.memory
+        addr = (iregs[base] + imm) & _MASK32
+        old = memory.read_u32(addr)
+        memory.write_u32(addr, (old + iregs[src]) & _MASK32)
+        if d:
+            iregs[d] = old
+        m.counters.amo_ops += 1
+        return None
+    return run
+
+
+def _bind_dma_copy(instr):
+    dst = instr.operands[0].index
+    src = instr.operands[1].index
+    length = instr.operands[2].index
+
+    def run(m):
+        iregs = m.iregs
+        nbytes = iregs[length]
+        m.memory.copy_within(iregs[dst], iregs[src], nbytes)
+        m.counters.dma_bytes_moved += nbytes
+        return None
+    return run
+
+
+#: Micro-op binders: mnemonic -> binder(instr) -> callable(machine).
+INT_BINDERS = {}
+INT_BINDERS.update({m: _bind_rr(op) for m, op in _RR_OPS.items()})
+INT_BINDERS.update({m: _bind_ri(op) for m, op in _RI_OPS.items()})
+INT_BINDERS.update({m: _bind_branch(op) for m, op in _BRANCH_OPS.items()})
+INT_BINDERS.update({
+    "lui": _bind_const(lambda imm: imm << 12),
+    "li": _bind_const(lambda imm: imm),
+    "mv": _bind_unary(lambda a: a),
+    "not": _bind_unary(lambda a: ~a),
+    "nop": _bind_nop,
+    "beqz": _bind_branchz(lambda a: a == 0),
+    "bnez": _bind_branchz(lambda a: a != 0),
+    "lw": _bind_load(lambda memory, addr: memory.read_u32(addr)),
+    "lh": _bind_load(_read_lh),
+    "lbu": _bind_load(lambda memory, addr: memory.read_u8(addr)),
+    "sw": _bind_store(lambda memory, addr, v: memory.write_u32(addr, v)),
+    "sh": _bind_store(lambda memory, addr, v: memory.write_u16(addr, v)),
+    "sb": _bind_store(lambda memory, addr, v: memory.write_u8(addr, v)),
+    "amoadd.w": _bind_amoadd_w,
+    "dma.copy": _bind_dma_copy,
 })
 
 

@@ -22,46 +22,32 @@ timeline advances through subsequent instructions.  Elapsed cycles are
 This is the substitution for the paper's RTL/QuestaSim setup (see
 DESIGN.md §2): every effect the evaluation discusses is modelled as a
 first-class mechanism rather than calibrated afterwards.
+
+Execution is split in three layers (one file each):
+
+* :class:`~repro.sim.decode.DecodedProgram` — per-*static*-instruction
+  resolution into flat micro-op records (bound handlers, operand
+  indices, branch targets, FREP bodies), cached on the Program object
+  so cluster cores and sweep reruns decode once;
+* :class:`~repro.sim.scheduler.Scheduler` — the two issue timelines,
+  scoreboards, writeback ports, dispatch queue, memory-RAW times,
+  regions and counters: all *timing* state and the hot step loop;
+* :class:`Machine` (this module) — architectural state (register files,
+  memory, SSR movers) and the stable ``bind``/``step``/``result``/
+  ``run`` API the cluster driver and all tooling program against.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-from ..isa.instructions import OpClass, Thread
-from ..isa.program import Instruction, Program
 from .config import CoreConfig
-from .counters import Counters, RegionMeasurement, RunResult
-from .exec_ops import FP_COMPUTE, FP_TO_INT, INT_HANDLERS
-from .icache import L0Cache
+from .counters import RunResult
+from .errors import SimulationError
 from .memory import Memory
-from .ssr import F_RPTR, F_WPTR, SSR, decode_cfg_imm
+from .scheduler import Scheduler
+from .ssr import SSR
 from .trace import TraceEvent
 
-
-class SimulationError(Exception):
-    """Illegal program behaviour detected by the machine model."""
-
-
-_ACTIVITY_COUNTER = {
-    OpClass.ALU: "int_alu_ops",
-    OpClass.MUL: "int_mul_ops",
-    OpClass.LOAD: "int_loads",
-    OpClass.STORE: "int_stores",
-    OpClass.BRANCH: "branches",
-    OpClass.JUMP: "branches",
-    OpClass.CSR: "csr_ops",
-    OpClass.FREP: "csr_ops",
-    OpClass.FP_ADD: "fp_adds",
-    OpClass.FP_MUL: "fp_muls",
-    OpClass.FP_FMA: "fp_fmas",
-    OpClass.FP_DIV: "fp_divs",
-    OpClass.FP_CMP: "fp_cmps",
-    OpClass.FP_CVT: "fp_cvts",
-    OpClass.FP_MV: "fp_mvs",
-    OpClass.FP_LOAD: "fp_loads",
-    OpClass.FP_STORE: "fp_stores",
-}
+__all__ = ["Machine", "SimulationError"]
 
 
 class Machine:
@@ -91,6 +77,7 @@ class Machine:
     def enable_trace(self) -> list[TraceEvent]:
         """Record every issue event; returns the (live) event list."""
         self.trace = []
+        self.sched._trace = self.trace
         return self.trace
 
     # ------------------------------------------------------------------
@@ -109,94 +96,69 @@ class Machine:
         raise SimulationError(f"unsupported ISSR index size {size}")
 
     # ------------------------------------------------------------------
-    # timing state
+    # timing state (owned by the Scheduler; delegated for compatibility)
     # ------------------------------------------------------------------
     def reset_timing(self) -> None:
-        self.int_time = 0
-        self.fp_time = 0
-        self.int_ready = [0] * 32
-        self.fp_ready = [0] * 32
-        self.mem_ready: dict[int, int] = {}
-        self.int_wb_busy: set[int] = set()
-        self.fp_wb_busy: set[int] = set()
-        self.fpss_queue: deque[int] = deque()
-        self.counters = Counters()
-        self.l0 = L0Cache(self.config.l0_icache_entries,
-                          enabled=self.config.model_l0_icache)
-        self._region_open: dict[str, tuple[int, Counters]] = {}
-        self._regions: dict[str, RegionMeasurement] = {}
-        #: True while parked at a cluster barrier (cluster sims only).
-        self.barrier_wait = False
-        #: Time this core arrived at the barrier it is parked at.
-        self.barrier_arrival = 0
-        self._decoded: list[tuple[Instruction, int | None]] = []
-        self._pc = 0
-        self._steps = 0
-        self._max_steps = 0
+        """Discard all timing state (register/memory values persist)."""
+        self.sched = Scheduler(self)
+
+    @property
+    def int_time(self) -> int:
+        return self.sched.int_time
+
+    @int_time.setter
+    def int_time(self, value: int) -> None:
+        self.sched.int_time = value
+
+    @property
+    def fp_time(self) -> int:
+        return self.sched.fp_time
+
+    @fp_time.setter
+    def fp_time(self, value: int) -> None:
+        self.sched.fp_time = value
+
+    @property
+    def counters(self):
+        return self.sched.counters
+
+    @property
+    def l0(self):
+        return self.sched.l0
+
+    @property
+    def barrier_wait(self) -> bool:
+        """True while parked at a cluster barrier (cluster sims only)."""
+        return self.sched.barrier_wait
+
+    @barrier_wait.setter
+    def barrier_wait(self, value: bool) -> None:
+        self.sched.barrier_wait = value
+
+    @property
+    def barrier_arrival(self) -> int:
+        """Time this core arrived at the barrier it is parked at."""
+        return self.sched.barrier_arrival
+
+    @barrier_arrival.setter
+    def barrier_arrival(self, value: int) -> None:
+        self.sched.barrier_arrival = value
 
     @property
     def now(self) -> int:
         """Current elapsed time over both issue timelines."""
-        return max(self.int_time, self.fp_time)
-
-    # -- memory RAW tracking (word-granule publication times) -----------
-    def _mem_commit(self, addr: int, size: int, time: int) -> None:
-        ready = self.mem_ready
-        for key in range(addr >> 2, (addr + size + 3) >> 2):
-            ready[key] = time
-
-    def _mem_time(self, addr: int, size: int) -> int:
-        ready = self.mem_ready
-        t = 0
-        for key in range(addr >> 2, (addr + size + 3) >> 2):
-            v = ready.get(key, 0)
-            if v > t:
-                t = v
-        return t
-
-    def _reserve_wb(self, busy: set[int], start: int, lat: int,
-                    ports: int) -> tuple[int, int]:
-        """Find the earliest issue ≥ *start* with a free writeback slot.
-
-        Returns (issue, writeback) times; reserves the writeback cycle.
-        With multiple ports the conflict set is per-cycle occupancy —
-        modelled only for the single-port default, which is what the
-        paper's core has.
-        """
-        wb = start + lat
-        if ports == 1:
-            while wb in busy:
-                wb += 1
-        busy.add(wb)
-        if len(busy) > 8192:
-            floor = min(self.int_time, self.fp_time)
-            busy.intersection_update(
-                {t for t in busy if t >= floor}
-            )
-        return wb - lat, wb
+        return self.sched.now
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def bind(self, program: Program,
-             max_steps: int = 200_000_000) -> None:
+    def bind(self, program, max_steps: int = 200_000_000) -> None:
         """Prepare *program* for stepwise execution (see :meth:`step`)."""
-        decoded: list[tuple[Instruction, int | None]] = []
-        for instr in program.instructions:
-            target = None
-            if instr.label is not None and instr.spec.opclass in (
-                    OpClass.BRANCH, OpClass.JUMP):
-                target = program.target(instr.label)
-            decoded.append((instr, target))
-        self._decoded = decoded
-        self._pc = 0
-        self._steps = 0
-        self._max_steps = max_steps
-        self.barrier_wait = False
+        self.sched.bind(program, max_steps)
 
     @property
     def finished(self) -> bool:
-        return self._pc >= len(self._decoded)
+        return self.sched.finished
 
     def step(self) -> bool:
         """Execute one dynamic instruction of the bound program.
@@ -206,509 +168,15 @@ class Machine:
         driver interleaves ``step()`` calls across cores; a standalone
         :meth:`run` just exhausts them.
         """
-        pc = self._pc
-        decoded = self._decoded
-        if pc >= len(decoded):
-            return False
-        instr, target = decoded[pc]
-        opclass = instr.spec.opclass
-        self._steps += 1
-        if self._steps > self._max_steps:
-            raise SimulationError(
-                f"exceeded max_steps={self._max_steps} at pc={pc} "
-                f"({instr.render()})"
-            )
-        if opclass is OpClass.META:
-            self._exec_mark(instr)
-            pc += 1
-        elif opclass is OpClass.FREP:
-            pc = self._exec_frep(instr, pc, decoded)
-        elif instr.spec.thread is Thread.INT:
-            pc = self._step_int(instr, target, pc)
-        else:
-            self._step_fp(instr, pc)
-            pc += 1
-        self._pc = pc
-        return True
+        return self.sched.step()
 
     def result(self) -> RunResult:
         """Measurements of everything executed since the last reset."""
-        return RunResult(cycles=self.now, counters=self.counters.copy(),
-                         regions=dict(self._regions))
+        return self.sched.result()
 
-    def run(self, program: Program,
-            max_steps: int = 200_000_000) -> RunResult:
+    def run(self, program, max_steps: int = 200_000_000) -> RunResult:
         """Execute *program* to completion and return measurements."""
-        self.bind(program, max_steps)
-        while self.step():
-            pass
-        return self.result()
-
-    # -- TCDM bank arbitration (cluster timing hook) --------------------
-    def _tcdm_access(self, addr: int, nbytes: int, start: int) -> int:
-        """Earliest cycle ≥ *start* the banked TCDM grants this access."""
-        return self.tcdm.access(self.core_id, addr, nbytes, start)
-
-    # -- asynchronous DMA (cluster bandwidth/latency model) -------------
-    def _exec_dma_start(self, dst: int, src: int, length: int,
-                        start: int) -> None:
-        """Queue a tile transfer; publish the data at its completion.
-
-        The copy is applied immediately (program order) so functional
-        state never depends on transfer timing; consumers observe the
-        modelled completion through the memory-RAW publication times,
-        which is what makes double-buffered pipelines overlap compute
-        with transfers.
-        """
-        if self.dma is not None:
-            done = self.dma.start(self.core_id, dst, src, length,
-                                  now=start + 1)
-        else:
-            done = start + 1
-        self.memory.copy_within(dst, src, length)
-        self._mem_commit(dst, length, done)
-        self.counters.dma_bytes_moved += length
-        self.counters.dma_transfers += 1
-
-    # ------------------------------------------------------------------
-    # markers
-    # ------------------------------------------------------------------
-    def _exec_mark(self, instr: Instruction) -> None:
-        label = instr.label or ""
-        if label.endswith("_start"):
-            name = label[:-len("_start")]
-            self._region_open[name] = (self.now, self.counters.copy())
-        elif label.endswith("_end"):
-            name = label[:-len("_end")]
-            if name not in self._region_open:
-                raise SimulationError(f"mark {label}: region never opened")
-            start_time, start_counters = self._region_open.pop(name)
-            cycles = self.now - start_time
-            delta = self.counters.delta(start_counters)
-            if name in self._regions:
-                prev = self._regions[name]
-                merged = Counters(**{
-                    k: getattr(prev.counters, k) + getattr(delta, k)
-                    for k in vars(delta)
-                })
-                self._regions[name] = RegionMeasurement(
-                    name, prev.cycles + cycles, merged
-                )
-            else:
-                self._regions[name] = RegionMeasurement(name, cycles, delta)
-        else:
-            raise SimulationError(
-                f"mark label must end in _start/_end: {label!r}"
-            )
-
-    # ------------------------------------------------------------------
-    # integer core
-    # ------------------------------------------------------------------
-    def _fetch(self, pc: int) -> None:
-        if self.l0.fetch(pc):
-            self.counters.icache_l0_hits += 1
-        else:
-            self.counters.icache_l0_misses += 1
-
-    def _step_int(self, instr: Instruction, target: int | None,
-                  pc: int) -> int:
-        cfg = self.config
-        c = self.counters
-        self._fetch(pc)
-        opclass = instr.spec.opclass
-        base = self.int_time
-        start = base
-
-        # Integer operand readiness.
-        ready = self.int_ready
-        for r in instr.int_reads:
-            t = ready[r.index]
-            if t > start:
-                start = t
-        if start > base:
-            c.stall_raw_int += start - base
-
-        # Loads wait for in-flight stores to the same words.
-        if instr.spec.is_load:
-            addr = (self.iregs[instr.mem_base.index] + instr.imm) \
-                & 0xFFFFFFFF
-            t = self._mem_time(addr, 4)
-            if t > start:
-                c.stall_mem_raw += t - start
-                start = t
-
-        # Banked-TCDM bank arbitration (cluster simulations only).
-        if self.tcdm is not None and (instr.spec.is_load
-                                      or instr.spec.is_store):
-            addr = (self.iregs[instr.mem_base.index] + instr.imm) \
-                & 0xFFFFFFFF
-            grant = self._tcdm_access(addr, 4, start)
-            if grant > start:
-                c.stall_tcdm += grant - start
-                start = grant
-
-        lat = cfg.latencies[opclass]
-
-        # Writeback-port structural hazard (single int-RF write port).
-        if instr.int_writes and cfg.model_int_wb_hazard:
-            issue, wb = self._reserve_wb(self.int_wb_busy, start, lat,
-                                         cfg.int_wb_ports)
-            if issue > start:
-                c.stall_wb_port += issue - start
-                start = issue
-        else:
-            wb = start + lat
-
-        # SSR control instructions are handled here; everything else has
-        # a functional handler.
-        mnemonic = instr.mnemonic
-        taken = None
-        if mnemonic == "scfgwi":
-            field_code, ssr_index = decode_cfg_imm(instr.imm)
-            if ssr_index >= len(self.ssrs):
-                raise SimulationError(f"no such SSR: {ssr_index}")
-            ssr = self.ssrs[ssr_index]
-            if field_code in (F_RPTR, F_WPTR):
-                # Re-arming a data mover requires the previous stream
-                # to have drained; software guards the reconfiguration
-                # with an FPU fence, so the write blocks until the FPSS
-                # pipeline is idle.  This is the per-block SSR
-                # programming / buffer-switching overhead behind
-                # Fig. 3's block-size trade-off (and the exp kernel's
-                # deviation in Fig. 2a).
-                drain = max(ssr.last_pop_time + 1, self.fp_time)
-                if drain > start:
-                    c.stall_ssr_sync += drain - start
-                    start = drain
-            value = self.iregs[instr.operands[0].index]
-            ssr.write_config(field_code, value, now=start + 1)
-        elif mnemonic == "ssr.enable":
-            self.ssr_enabled = True
-        elif mnemonic == "ssr.disable":
-            self.ssr_enabled = False
-        elif mnemonic == "dma.start":
-            self._exec_dma_start(
-                self.iregs[instr.operands[0].index],
-                self.iregs[instr.operands[1].index],
-                self.iregs[instr.operands[2].index],
-                start,
-            )
-        elif mnemonic == "dma.wait":
-            if self.dma is not None:
-                t = self.dma.core_drain_time(self.core_id)
-                if t > start:
-                    c.stall_dma += t - start
-                    start = t
-        elif mnemonic == "cluster.barrier":
-            c.barriers += 1
-            if self.cluster is not None:
-                # Implicit FPU fence: the core arrives only once its FP
-                # subsystem has drained.  The cluster driver parks this
-                # core until every active core has arrived.
-                self.barrier_arrival = max(start + 1, self.fp_time)
-                self.barrier_wait = True
-        elif mnemonic == "ret":
-            self.int_time = start + 1
-            c.int_issued += 1
-            return 1 << 60  # halt: beyond any program end
-        elif opclass is OpClass.JUMP:
-            pass  # control transfer handled below
-        else:
-            handler = INT_HANDLERS.get(mnemonic)
-            if handler is None:
-                raise SimulationError(
-                    f"unsupported instruction {instr.render()!r}"
-                )
-            taken = handler(self, instr)
-
-        for r in instr.int_writes:
-            ready[r.index] = wb
-        if instr.spec.is_store:
-            addr = (self.iregs[instr.mem_base.index] + instr.imm) \
-                & 0xFFFFFFFF
-            self._mem_commit(addr, 4, start + lat)
-
-        self.int_time = start + 1
-        c.int_issued += 1
-        if self.trace is not None:
-            self.trace.append(TraceEvent("int", start, mnemonic, pc))
-        counter = _ACTIVITY_COUNTER.get(opclass)
-        if counter is not None:
-            setattr(c, counter, getattr(c, counter) + 1)
-
-        if opclass is OpClass.BRANCH:
-            if taken:
-                self.int_time += cfg.taken_branch_penalty
-                c.stall_branch += cfg.taken_branch_penalty
-                if target is not None and target <= pc:
-                    self.l0.backward_branch(pc, target)
-                return target
-            return pc + 1
-        if opclass is OpClass.JUMP:
-            if mnemonic in ("j", "jal"):
-                self.int_time += cfg.taken_branch_penalty
-                c.stall_branch += cfg.taken_branch_penalty
-                if target is not None and target <= pc:
-                    self.l0.backward_branch(pc, target)
-                return target
-            raise SimulationError(
-                f"computed jumps are not supported: {instr.render()!r}"
-            )
-        return pc + 1
-
-    # ------------------------------------------------------------------
-    # FP subsystem
-    # ------------------------------------------------------------------
-    def _step_fp(self, instr: Instruction, pc: int) -> None:
-        """Dispatch one FP instruction through the core, then issue it."""
-        cfg = self.config
-        c = self.counters
-        self._fetch(pc)
-        disp = self.int_time
-
-        # Dispatch-queue backpressure: a slot frees the cycle after the
-        # FPSS issues the oldest queued instruction.
-        queue = self.fpss_queue
-        while queue and queue[0] < disp:
-            queue.popleft()
-        if len(queue) >= cfg.fpss_queue_depth:
-            free_at = queue.popleft() + 1
-            if free_at > disp:
-                c.stall_queue_full += free_at - disp
-                disp = free_at
-
-        # Integer operands (addresses, conversion sources) are read at
-        # dispatch time on the core.
-        base = disp
-        for r in instr.int_reads:
-            t = self.int_ready[r.index]
-            if t > disp:
-                disp = t
-        if disp > base:
-            c.stall_raw_int += disp - base
-
-        self.int_time = disp + 1
-        c.fp_dispatched += 1
-        if self.trace is not None:
-            self.trace.append(TraceEvent("int", disp, instr.mnemonic,
-                                         pc))
-
-        issue = self._fpss_issue(instr, disp + 1)
-        queue.append(issue)
-
-    def _fpss_issue(self, instr: Instruction, earliest: int,
-                    sequencer: bool = False) -> int:
-        """Issue *instr* on the FPSS timeline and execute it.
-
-        Shared between queue dispatch (first FREP iteration, plain FP
-        instructions) and sequencer replay (*earliest* = 0).
-        Returns the issue cycle.
-        """
-        cfg = self.config
-        c = self.counters
-        mem = self.memory
-        start = self.fp_time
-        if earliest > start:
-            start = earliest
-
-        # Gather source operand values; SSR-bound registers pop streams.
-        values: list = []
-        spec = instr.spec
-        ssr_on = self.ssr_enabled
-        for role, operand in zip(spec.roles, instr.operands):
-            if role.startswith("frs"):
-                idx = operand.index
-                ssr = self.ssrs[idx] if (ssr_on and idx < len(self.ssrs)) \
-                    else None
-                if ssr is not None and ssr.armed and not ssr.is_write:
-                    addr = ssr.peek_address(self._read_index)
-                    avail = ssr.arm_time + cfg.ssr_fill_latency + ssr.seq
-                    produced = self._mem_time(addr, 8)
-                    if produced:
-                        t = produced + cfg.latencies[OpClass.FP_LOAD]
-                        if t > avail:
-                            avail = t
-                    if avail > start:
-                        c.fp_stall_ssr += avail - start
-                        start = avail
-                    if self.tcdm is not None:
-                        grant = self._tcdm_access(addr, 8, start)
-                        if grant > start:
-                            c.fp_stall_tcdm += grant - start
-                            start = grant
-                    values.append(mem.read_f64(addr))
-                    ssr.advance()
-                    ssr.last_pop_time = start
-                    c.ssr_reads += 1
-                    if ssr.indirect:
-                        c.ssr_index_fetches += 1
-                else:
-                    t = self.fp_ready[idx]
-                    if t > start:
-                        c.fp_stall_raw += t - start
-                        start = t
-                    values.append(self.fregs[idx])
-            elif role.startswith("rs") and role != spec.mem_base_role:
-                values.append(self.iregs[operand.index])
-
-        opclass = spec.opclass
-        lat = cfg.latencies[opclass]
-        mnemonic = instr.mnemonic
-
-        if opclass is OpClass.FP_LOAD:
-            addr = (self.iregs[instr.mem_base.index] + instr.imm) \
-                & 0xFFFFFFFF
-            t = self._mem_time(addr, 8)
-            if t > start:
-                start = t
-            if self.tcdm is not None:
-                width = 8 if mnemonic == "fld" else 4
-                grant = self._tcdm_access(addr, width, start)
-                if grant > start:
-                    c.fp_stall_tcdm += grant - start
-                    start = grant
-            issue, wb = self._reserve_wb(self.fp_wb_busy, start, lat,
-                                         cfg.fp_wb_ports)
-            if issue > start:
-                c.fp_stall_wb_port += issue - start
-                start = issue
-            if mnemonic == "fld":
-                value = mem.read_f64(addr)
-            else:
-                value = mem.read_f32(addr)
-            dest = instr.operands[0]
-            self.fregs[dest.index] = value
-            self.fp_ready[dest.index] = wb
-        elif opclass is OpClass.FP_STORE:
-            addr = (self.iregs[instr.mem_base.index] + instr.imm) \
-                & 0xFFFFFFFF
-            value = values[0]
-            width = 8 if mnemonic == "fsd" else 4
-            if self.tcdm is not None:
-                grant = self._tcdm_access(addr, width, start)
-                if grant > start:
-                    c.fp_stall_tcdm += grant - start
-                    start = grant
-            if mnemonic == "fsd":
-                mem.write_f64(addr, value)
-            else:
-                mem.write_f32(addr, value)
-            self._mem_commit(addr, width, start + lat)
-        elif instr.fp_writes:
-            compute = FP_COMPUTE.get(mnemonic)
-            if compute is None:
-                raise SimulationError(
-                    f"unsupported FP instruction {instr.render()!r}"
-                )
-            result = compute(*values)
-            dest = instr.operands[0]
-            idx = dest.index
-            ssr = self.ssrs[idx] if (ssr_on and idx < len(self.ssrs)) \
-                else None
-            if ssr is not None and ssr.armed and ssr.is_write:
-                addr = ssr.peek_address(self._read_index)
-                if self.tcdm is not None:
-                    grant = self._tcdm_access(addr, 8, start)
-                    if grant > start:
-                        c.fp_stall_tcdm += grant - start
-                        start = grant
-                mem.write_f64(addr, result)
-                ssr.advance()
-                ssr.last_pop_time = start
-                c.ssr_writes += 1
-                self._mem_commit(addr, 8, start + lat)
-            else:
-                issue, wb = self._reserve_wb(self.fp_wb_busy, start, lat,
-                                             cfg.fp_wb_ports)
-                if issue > start:
-                    c.fp_stall_wb_port += issue - start
-                    start = issue
-                self.fregs[idx] = result
-                self.fp_ready[idx] = wb
-        elif instr.int_writes:
-            to_int = FP_TO_INT.get(mnemonic)
-            if to_int is None:
-                raise SimulationError(
-                    f"unsupported FP instruction {instr.render()!r}"
-                )
-            result = to_int(*values)
-            dest = instr.operands[0]
-            self.write_ireg(dest, result)
-            self.int_ready[dest.index] = (
-                start + lat + cfg.fp_response_latency
-            )
-        else:
-            raise SimulationError(
-                f"FP instruction with no destination: {instr.render()!r}"
-            )
-
-        self.fp_time = start + 1
-        c.fp_issued += 1
-        if self.trace is not None:
-            self.trace.append(TraceEvent("fp", start, mnemonic,
-                                         None if sequencer else -1,
-                                         sequencer))
-        counter = _ACTIVITY_COUNTER.get(opclass)
-        if counter is not None:
-            setattr(c, counter, getattr(c, counter) + 1)
-        return start
-
-    # ------------------------------------------------------------------
-    # FREP
-    # ------------------------------------------------------------------
-    def _exec_frep(self, instr: Instruction, pc: int,
-                   decoded: list) -> int:
-        """Execute an ``frep.o rs1, n`` pseudo-dual-issue loop.
-
-        The body (next *n* instructions) is dispatched once by the
-        integer core and captured by the sequencer; iterations 1..rs1
-        are issued by the sequencer on the FP timeline only.
-        """
-        cfg = self.config
-        c = self.counters
-        n = instr.imm
-        if n <= 0:
-            raise SimulationError("frep body must have ≥ 1 instruction")
-        if n > cfg.frep_buffer_size:
-            raise SimulationError(
-                f"frep body of {n} instructions exceeds the "
-                f"{cfg.frep_buffer_size}-entry sequencer buffer"
-            )
-        if pc + 1 + n > len(decoded):
-            raise SimulationError("frep body runs past the program end")
-        body = [decoded[pc + 1 + i][0] for i in range(n)]
-        for binstr in body:
-            if binstr.spec.thread is not Thread.FP:
-                raise SimulationError(
-                    f"non-FP instruction in frep body: "
-                    f"{binstr.render()!r}"
-                )
-            if binstr.int_reads or binstr.int_writes:
-                raise SimulationError(
-                    f"frep body instruction touches the integer RF "
-                    f"(use SSRs / the COPIFT custom extension): "
-                    f"{binstr.render()!r}"
-                )
-
-        # The frep instruction itself occupies one integer issue slot.
-        self._fetch(pc)
-        start = self.int_time
-        rs1 = instr.operands[0]
-        t = self.int_ready[rs1.index]
-        if t > start:
-            c.stall_raw_int += t - start
-            start = t
-        reps = self.iregs[rs1.index] + 1
-        self.int_time = start + 1
-        c.int_issued += 1
-        c.csr_ops += 1
-
-        # Iteration 0: dispatched by the core through the queue.
-        for i, binstr in enumerate(body):
-            self._step_fp(binstr, pc + 1 + i)
-        # Iterations 1..reps-1: sequencer-issued, FP timeline only.
-        for _ in range(reps - 1):
-            for binstr in body:
-                self._fpss_issue(binstr, 0, sequencer=True)
-                c.sequencer_issued += 1
-        return pc + 1 + n
+        sched = self.sched
+        sched.bind(program, max_steps)
+        sched.drain()
+        return sched.result()

@@ -29,11 +29,18 @@ class MemoryError_(Exception):
 class Memory:
     """Flat little-endian byte-addressable memory.
 
+    The word-size scalar accessors inline their bounds/alignment test
+    (falling back to :meth:`_check` only to raise the detailed error) —
+    they run once per simulated load/store, making them part of the
+    simulator's hot path.
+
     Args:
         size: Capacity in bytes (default 1 MiB: generous so experiment
             sweeps are not artificially limited; the architectural TCDM
             budget is enforced separately by the kernel layer).
     """
+
+    __slots__ = ("size", "data")
 
     def __init__(self, size: int = 1 << 20) -> None:
         self.size = size
@@ -84,35 +91,43 @@ class Memory:
         self.data[addr:addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
 
     def read_u32(self, addr: int) -> int:
-        self._check(addr, 4, align=4)
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4, align=4)
         return _U32.unpack_from(self.data, addr)[0]
 
     def write_u32(self, addr: int, value: int) -> None:
-        self._check(addr, 4, align=4)
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4, align=4)
         _U32.pack_into(self.data, addr, value & 0xFFFFFFFF)
 
     def read_u64(self, addr: int) -> int:
-        self._check(addr, 8, align=8)
+        if addr < 0 or addr + 8 > self.size or addr & 7:
+            self._check(addr, 8, align=8)
         return _U64.unpack_from(self.data, addr)[0]
 
     def write_u64(self, addr: int, value: int) -> None:
-        self._check(addr, 8, align=8)
+        if addr < 0 or addr + 8 > self.size or addr & 7:
+            self._check(addr, 8, align=8)
         _U64.pack_into(self.data, addr, value & 0xFFFFFFFFFFFFFFFF)
 
     def read_f32(self, addr: int) -> float:
-        self._check(addr, 4, align=4)
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4, align=4)
         return _F32.unpack_from(self.data, addr)[0]
 
     def write_f32(self, addr: int, value: float) -> None:
-        self._check(addr, 4, align=4)
+        if addr < 0 or addr + 4 > self.size or addr & 3:
+            self._check(addr, 4, align=4)
         _F32.pack_into(self.data, addr, value)
 
     def read_f64(self, addr: int) -> float:
-        self._check(addr, 8, align=8)
+        if addr < 0 or addr + 8 > self.size or addr & 7:
+            self._check(addr, 8, align=8)
         return _F64.unpack_from(self.data, addr)[0]
 
     def write_f64(self, addr: int, value: float) -> None:
-        self._check(addr, 8, align=8)
+        if addr < 0 or addr + 8 > self.size or addr & 7:
+            self._check(addr, 8, align=8)
         _F64.pack_into(self.data, addr, value)
 
     # -- bulk NumPy helpers --------------------------------------------------

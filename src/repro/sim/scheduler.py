@@ -1,0 +1,758 @@
+"""Two-timeline issue scheduler over pre-decoded micro-ops.
+
+The :class:`Scheduler` owns everything *timing*: the integer and FPSS
+issue timelines, the per-register-file scoreboards, writeback-port
+reservations, the core→FPSS dispatch queue, memory-RAW publication
+times, region measurements and all performance counters.  Architectural
+state (register files, memory, SSR movers) stays on the owning
+:class:`~repro.sim.machine.Machine`, which the bound functional handlers
+mutate.
+
+The hot loop works exclusively on :class:`~repro.sim.decode.MicroOp`
+records: no dict lookups, no operand-role walks, no ``instr.spec``
+attribute chains — every per-instruction invariant was resolved at
+decode time.  :meth:`bind` additionally snapshots the per-config
+scalars (latencies by pc, port counts, queue depth, branch penalty) and
+the architectural-state containers into flat attributes, so the
+per-step code touches plain locals and list indexing only.  The
+configuration and the machine's cluster hooks are treated as immutable
+between ``bind`` and the end of the run (true everywhere in the repo).
+
+The cycle-assignment rules are documented on
+:class:`~repro.sim.machine.Machine`; this class is a performance
+refactor of the original interpreter with bit-identical timing
+(``tests/test_golden.py`` locks that in).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..isa.instructions import OpClass
+from .counters import Counters, RegionMeasurement, RunResult
+from .decode import (
+    DecodedProgram,
+    F_COMPUTE,
+    F_LOAD,
+    F_STORE,
+    F_TO_INT,
+    K_FP,
+    K_FREP,
+    K_INT,
+    S_BARRIER,
+    S_DMA_START,
+    S_DMA_WAIT,
+    S_HANDLER,
+    S_JUMP,
+    S_RET,
+    S_SCFGWI,
+    S_SSR_DIS,
+    S_SSR_EN,
+)
+from .errors import SimulationError
+from .icache import L0Cache
+from .trace import TraceEvent
+
+_MASK32 = 0xFFFFFFFF
+_HALT_PC = 1 << 60
+
+#: Writeback-reservation sets are trimmed once they exceed this size.
+_WB_TRIM_THRESHOLD = 8192
+
+
+class Scheduler:
+    """Issue-timing state machine for one core."""
+
+    __slots__ = (
+        "m", "cfg", "int_time", "fp_time", "int_ready", "fp_ready",
+        "mem_ready", "int_wb_busy", "fp_wb_busy", "fpss_queue",
+        "counters", "_cd", "l0", "_region_open", "_regions",
+        "barrier_wait", "barrier_arrival", "_ops", "_n_ops", "_lat",
+        "_pc", "_steps", "_max_steps",
+        # config snapshot
+        "_lat_fp_load", "_int_wb_hazard", "_int_wb_ports",
+        "_fp_wb_ports", "_queue_depth", "_branch_penalty",
+        "_ssr_fill_latency", "_fp_response_latency",
+        # machine snapshot
+        "_iregs", "_fregs", "_mem", "_ssrs", "_n_ssrs", "_tcdm",
+        "_core_id", "_read_index", "_trace",
+    )
+
+    def __init__(self, machine) -> None:
+        self.m = machine
+        cfg = machine.config
+        self.cfg = cfg
+        self.int_time = 0
+        self.fp_time = 0
+        self.int_ready = [0] * 32
+        self.fp_ready = [0] * 32
+        self.mem_ready: dict[int, int] = {}
+        self.int_wb_busy: set[int] = set()
+        self.fp_wb_busy: set[int] = set()
+        self.fpss_queue: deque[int] = deque()
+        self.counters = Counters()
+        #: Counter storage; the hot loop bumps fields through this dict.
+        self._cd = self.counters.__dict__
+        self.l0 = L0Cache(cfg.l0_icache_entries,
+                          enabled=cfg.model_l0_icache)
+        self._region_open: dict[str, tuple[int, Counters]] = {}
+        self._regions: dict[str, RegionMeasurement] = {}
+        #: True while parked at a cluster barrier (cluster sims only).
+        self.barrier_wait = False
+        #: Time this core arrived at the barrier it is parked at.
+        self.barrier_arrival = 0
+        self._ops: list = []
+        self._n_ops = 0
+        self._lat: list[int] = []
+        self._pc = 0
+        self._steps = 0
+        self._max_steps = 0
+        self._snapshot_config()
+        self._snapshot_machine()
+
+    # ------------------------------------------------------------------
+    def _snapshot_config(self) -> None:
+        cfg = self.cfg
+        self._lat_fp_load = cfg.latencies[OpClass.FP_LOAD]
+        self._int_wb_hazard = cfg.model_int_wb_hazard
+        self._int_wb_ports = cfg.int_wb_ports
+        self._fp_wb_ports = cfg.fp_wb_ports
+        self._queue_depth = cfg.fpss_queue_depth
+        self._branch_penalty = cfg.taken_branch_penalty
+        self._ssr_fill_latency = cfg.ssr_fill_latency
+        self._fp_response_latency = cfg.fp_response_latency
+
+    def _snapshot_machine(self) -> None:
+        m = self.m
+        self._iregs = m.iregs
+        self._fregs = m.fregs
+        self._mem = m.memory
+        self._ssrs = m.ssrs
+        self._n_ssrs = len(m.ssrs)
+        self._tcdm = m.tcdm
+        self._core_id = m.core_id
+        self._read_index = m._read_index
+        self._trace = m.trace
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current elapsed time over both issue timelines."""
+        int_time = self.int_time
+        fp_time = self.fp_time
+        return int_time if int_time >= fp_time else fp_time
+
+    @property
+    def finished(self) -> bool:
+        return self._pc >= self._n_ops
+
+    # ------------------------------------------------------------------
+    def bind(self, program, max_steps: int) -> None:
+        """Prepare *program* for stepwise execution.
+
+        Decoding is cached on the program; only the per-config latency
+        table is (re)resolved here, one flat list indexed by pc.
+        """
+        decoded = DecodedProgram.of(program)
+        self._ops = decoded.ops
+        self._n_ops = len(decoded.ops)
+        latencies = self.cfg.latencies
+        self._lat = [latencies[op.opclass] for op in decoded.ops]
+        self._pc = 0
+        self._steps = 0
+        self._max_steps = max_steps
+        self.barrier_wait = False
+        self._snapshot_config()
+        self._snapshot_machine()
+
+    def step(self) -> bool:
+        """Execute one dynamic instruction; False once finished."""
+        pc = self._pc
+        if pc >= self._n_ops:
+            return False
+        op = self._ops[pc]
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise SimulationError(
+                f"exceeded max_steps={self._max_steps} at pc={pc} "
+                f"({op.instr.render()})"
+            )
+        kind = op.kind
+        if kind == K_INT:
+            pc = self._step_int(op, pc)
+        elif kind == K_FP:
+            self._step_fp(op, pc)
+            pc += 1
+        elif kind == K_FREP:
+            pc = self._exec_frep(op, pc)
+        else:                                   # K_META
+            self._exec_mark(op)
+            pc += 1
+        self._pc = pc
+        return True
+
+    def drain(self) -> None:
+        """Step until the bound program finishes.
+
+        Semantically ``while self.step(): pass``, written as one tight
+        loop with pc/steps in locals — this is the standalone-run hot
+        path (the cluster driver interleaves :meth:`step` instead).
+        """
+        ops = self._ops
+        n_ops = self._n_ops
+        max_steps = self._max_steps
+        pc = self._pc
+        steps = self._steps
+        step_int = self._step_int
+        step_fp = self._step_fp
+        try:
+            while pc < n_ops:
+                op = ops[pc]
+                steps += 1
+                if steps > max_steps:
+                    raise SimulationError(
+                        f"exceeded max_steps={max_steps} at pc={pc} "
+                        f"({op.instr.render()})"
+                    )
+                kind = op.kind
+                if kind == K_INT:
+                    pc = step_int(op, pc)
+                elif kind == K_FP:
+                    step_fp(op, pc)
+                    pc += 1
+                elif kind == K_FREP:
+                    pc = self._exec_frep(op, pc)
+                else:                           # K_META
+                    self._exec_mark(op)
+                    pc += 1
+        finally:
+            self._pc = pc
+            self._steps = steps
+
+    def result(self) -> RunResult:
+        """Measurements of everything executed since construction."""
+        return RunResult(cycles=self.now, counters=self.counters.copy(),
+                         regions=dict(self._regions))
+
+    # ------------------------------------------------------------------
+    # memory RAW tracking (word-granule publication times)
+    # ------------------------------------------------------------------
+    def _mem_commit(self, addr: int, size: int, time: int) -> None:
+        ready = self.mem_ready
+        for key in range(addr >> 2, (addr + size + 3) >> 2):
+            ready[key] = time
+
+    def _mem_time(self, addr: int, size: int) -> int:
+        ready = self.mem_ready
+        t = 0
+        for key in range(addr >> 2, (addr + size + 3) >> 2):
+            v = ready.get(key, 0)
+            if v > t:
+                t = v
+        return t
+
+    def _trim_wb(self, busy: set[int]) -> None:
+        """Cold path: bound the writeback-reservation set's size."""
+        floor = min(self.int_time, self.fp_time)
+        busy.intersection_update({t for t in busy if t >= floor})
+
+    def _reserve_wb(self, busy: set[int], start: int, lat: int,
+                    ports: int) -> tuple[int, int]:
+        """Find the earliest issue ≥ *start* with a free writeback slot.
+
+        Returns (issue, writeback) times; reserves the writeback cycle.
+        With multiple ports the conflict set is per-cycle occupancy —
+        modelled only for the single-port default, which is what the
+        paper's core has.  (The step loop inlines this logic; the
+        method remains for tests and subclasses.)
+        """
+        wb = start + lat
+        if ports == 1:
+            while wb in busy:
+                wb += 1
+        busy.add(wb)
+        if len(busy) > _WB_TRIM_THRESHOLD:
+            self._trim_wb(busy)
+        return wb - lat, wb
+
+    # ------------------------------------------------------------------
+    # markers
+    # ------------------------------------------------------------------
+    def _exec_mark(self, op) -> None:
+        label = op.instr.label or ""
+        if label.endswith("_start"):
+            name = label[:-len("_start")]
+            self._region_open[name] = (self.now, self.counters.copy())
+        elif label.endswith("_end"):
+            name = label[:-len("_end")]
+            if name not in self._region_open:
+                raise SimulationError(f"mark {label}: region never opened")
+            start_time, start_counters = self._region_open.pop(name)
+            cycles = self.now - start_time
+            delta = self.counters.delta(start_counters)
+            if name in self._regions:
+                prev = self._regions[name]
+                merged = Counters(**{
+                    k: getattr(prev.counters, k) + getattr(delta, k)
+                    for k in vars(delta)
+                })
+                self._regions[name] = RegionMeasurement(
+                    name, prev.cycles + cycles, merged
+                )
+            else:
+                self._regions[name] = RegionMeasurement(name, cycles, delta)
+        else:
+            raise SimulationError(
+                f"mark label must end in _start/_end: {label!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # asynchronous DMA (cluster bandwidth/latency model)
+    # ------------------------------------------------------------------
+    def _exec_dma_start(self, dst: int, src: int, length: int,
+                        start: int) -> None:
+        """Queue a tile transfer; publish the data at its completion.
+
+        The copy is applied immediately (program order) so functional
+        state never depends on transfer timing; consumers observe the
+        modelled completion through the memory-RAW publication times,
+        which is what makes double-buffered pipelines overlap compute
+        with transfers.
+        """
+        m = self.m
+        if m.dma is not None:
+            done = m.dma.start(m.core_id, dst, src, length,
+                               now=start + 1)
+        else:
+            done = start + 1
+        self._mem.copy_within(dst, src, length)
+        self._mem_commit(dst, length, done)
+        self.counters.dma_bytes_moved += length
+        self.counters.dma_transfers += 1
+
+    # ------------------------------------------------------------------
+    # integer core
+    # ------------------------------------------------------------------
+    def _fetch(self, pc: int) -> None:
+        # Inlined L0Cache.fetch: this runs once per dispatched
+        # instruction, so the extra call layer is worth shaving.
+        l0 = self.l0
+        if l0.enabled and l0._lo <= pc <= l0._hi:
+            l0.hits += 1
+            self._cd["icache_l0_hits"] += 1
+        else:
+            l0.misses += 1
+            self._cd["icache_l0_misses"] += 1
+
+    def _step_int(self, op, pc: int) -> int:
+        cd = self._cd
+        m = self.m
+        iregs = self._iregs
+        # Fetch (L0 loop-buffer check, inlined).
+        l0 = self.l0
+        if l0.enabled and l0._lo <= pc <= l0._hi:
+            l0.hits += 1
+            cd["icache_l0_hits"] += 1
+        else:
+            l0.misses += 1
+            cd["icache_l0_misses"] += 1
+        base = self.int_time
+        start = base
+
+        # Integer operand readiness.
+        ready = self.int_ready
+        reads = op.int_read_idx
+        if reads:
+            for r in reads:
+                t = ready[r]
+                if t > start:
+                    start = t
+            if start > base:
+                cd["stall_raw_int"] += start - base
+
+        # Loads wait for in-flight stores to the same words.
+        is_load = op.is_load
+        if is_load:
+            addr = (iregs[op.mem_base_idx] + op.imm) & _MASK32
+            t = self._mem_time(addr, 4)
+            if t > start:
+                cd["stall_mem_raw"] += t - start
+                start = t
+
+        # Banked-TCDM bank arbitration (cluster simulations only).
+        tcdm = self._tcdm
+        if tcdm is not None and (is_load or op.is_store):
+            addr = (iregs[op.mem_base_idx] + op.imm) & _MASK32
+            grant = tcdm.access(self._core_id, addr, 4, start)
+            if grant > start:
+                cd["stall_tcdm"] += grant - start
+                start = grant
+
+        lat = self._lat[pc]
+
+        # Writeback-port structural hazard (single int-RF write port).
+        writes = op.int_write_idx
+        wb = start + lat
+        if writes and self._int_wb_hazard:
+            busy = self.int_wb_busy
+            if self._int_wb_ports == 1:
+                while wb in busy:
+                    wb += 1
+            busy.add(wb)
+            if len(busy) > _WB_TRIM_THRESHOLD:
+                self._trim_wb(busy)
+            issue = wb - lat
+            if issue > start:
+                cd["stall_wb_port"] += issue - start
+                start = issue
+
+        # SSR/DMA/barrier control is handled in-line; everything else
+        # has a bound functional handler.
+        taken = None
+        special = op.special
+        if special == S_HANDLER:
+            handler = op.handler
+            if handler is None:
+                raise SimulationError(op.error)
+            taken = handler(m)
+        elif special == S_SCFGWI:
+            if op.aux1 >= self._n_ssrs:
+                raise SimulationError(f"no such SSR: {op.aux1}")
+            ssr = self._ssrs[op.aux1]
+            if op.cfg_arm:
+                # Re-arming a data mover requires the previous stream
+                # to have drained; software guards the reconfiguration
+                # with an FPU fence, so the write blocks until the FPSS
+                # pipeline is idle.  This is the per-block SSR
+                # programming / buffer-switching overhead behind
+                # Fig. 3's block-size trade-off (and the exp kernel's
+                # deviation in Fig. 2a).
+                drain = max(ssr.last_pop_time + 1, self.fp_time)
+                if drain > start:
+                    cd["stall_ssr_sync"] += drain - start
+                    start = drain
+            ssr.write_config(op.aux0, iregs[op.aux2], now=start + 1)
+        elif special == S_SSR_EN:
+            m.ssr_enabled = True
+        elif special == S_SSR_DIS:
+            m.ssr_enabled = False
+        elif special == S_DMA_START:
+            self._exec_dma_start(iregs[op.aux0], iregs[op.aux1],
+                                 iregs[op.aux2], start)
+        elif special == S_DMA_WAIT:
+            if m.dma is not None:
+                t = m.dma.core_drain_time(self._core_id)
+                if t > start:
+                    cd["stall_dma"] += t - start
+                    start = t
+        elif special == S_BARRIER:
+            cd["barriers"] += 1
+            if m.cluster is not None:
+                # Implicit FPU fence: the core arrives only once its FP
+                # subsystem has drained.  The cluster driver parks this
+                # core until every active core has arrived.
+                self.barrier_arrival = max(start + 1, self.fp_time)
+                self.barrier_wait = True
+        elif special == S_RET:
+            self.int_time = start + 1
+            cd["int_issued"] += 1
+            return _HALT_PC                 # halt: beyond any program end
+        # S_JUMP: control transfer handled below.
+
+        for r in writes:
+            ready[r] = wb
+        if op.is_store:
+            addr = (iregs[op.mem_base_idx] + op.imm) & _MASK32
+            self._mem_commit(addr, 4, start + lat)
+
+        self.int_time = start + 1
+        cd["int_issued"] += 1
+        trace = self._trace
+        if trace is not None:
+            trace.append(TraceEvent("int", start, op.mnemonic, pc))
+        counter = op.counter
+        if counter is not None:
+            cd[counter] += 1
+
+        if op.is_branch:
+            if taken:
+                penalty = self._branch_penalty
+                self.int_time += penalty
+                cd["stall_branch"] += penalty
+                target = op.target
+                if target is not None and target <= pc:
+                    self.l0.backward_branch(pc, target)
+                return target
+            return pc + 1
+        if special == S_JUMP:
+            if op.jump_direct:
+                penalty = self._branch_penalty
+                self.int_time += penalty
+                cd["stall_branch"] += penalty
+                target = op.target
+                if target is not None and target <= pc:
+                    self.l0.backward_branch(pc, target)
+                return target
+            raise SimulationError(
+                f"computed jumps are not supported: "
+                f"{op.instr.render()!r}"
+            )
+        return pc + 1
+
+    # ------------------------------------------------------------------
+    # FP subsystem
+    # ------------------------------------------------------------------
+    def _step_fp(self, op, pc: int) -> None:
+        """Dispatch one FP instruction through the core, then issue it."""
+        cd = self._cd
+        # Fetch (L0 loop-buffer check, inlined).
+        l0 = self.l0
+        if l0.enabled and l0._lo <= pc <= l0._hi:
+            l0.hits += 1
+            cd["icache_l0_hits"] += 1
+        else:
+            l0.misses += 1
+            cd["icache_l0_misses"] += 1
+        disp = self.int_time
+
+        # Dispatch-queue backpressure: a slot frees the cycle after the
+        # FPSS issues the oldest queued instruction.
+        queue = self.fpss_queue
+        while queue and queue[0] < disp:
+            queue.popleft()
+        if len(queue) >= self._queue_depth:
+            free_at = queue.popleft() + 1
+            if free_at > disp:
+                cd["stall_queue_full"] += free_at - disp
+                disp = free_at
+
+        # Integer operands (addresses, conversion sources) are read at
+        # dispatch time on the core.
+        reads = op.int_read_idx
+        if reads:
+            base = disp
+            ready = self.int_ready
+            for r in reads:
+                t = ready[r]
+                if t > disp:
+                    disp = t
+            if disp > base:
+                cd["stall_raw_int"] += disp - base
+
+        self.int_time = disp + 1
+        cd["fp_dispatched"] += 1
+        trace = self._trace
+        if trace is not None:
+            trace.append(TraceEvent("int", disp, op.mnemonic, pc))
+
+        queue.append(self._fpss_issue(op, disp + 1))
+
+    def _fpss_issue(self, op, earliest: int,
+                    sequencer: bool = False) -> int:
+        """Issue *op* on the FPSS timeline and execute it.
+
+        Shared between queue dispatch (first FREP iteration, plain FP
+        instructions) and sequencer replay (*earliest* = 0).
+        Returns the issue cycle.
+        """
+        cd = self._cd
+        m = self.m
+        fregs = self._fregs
+        tcdm = self._tcdm
+        start = self.fp_time
+        if earliest > start:
+            start = earliest
+
+        # Gather source operand values; SSR-bound registers pop streams.
+        values: list = []
+        append = values.append
+        ssr_on = m.ssr_enabled
+        n_ssrs = self._n_ssrs
+        fp_ready = self.fp_ready
+        for is_fp, idx in op.gather:
+            if is_fp:
+                ssr = None
+                if ssr_on and idx < n_ssrs:
+                    candidate = self._ssrs[idx]
+                    if candidate.armed and not candidate.is_write:
+                        ssr = candidate
+                if ssr is not None:
+                    addr = ssr.peek_address(self._read_index)
+                    avail = (ssr.arm_time + self._ssr_fill_latency
+                             + ssr.seq)
+                    produced = self._mem_time(addr, 8)
+                    if produced:
+                        t = produced + self._lat_fp_load
+                        if t > avail:
+                            avail = t
+                    if avail > start:
+                        cd["fp_stall_ssr"] += avail - start
+                        start = avail
+                    if tcdm is not None:
+                        grant = tcdm.access(self._core_id, addr, 8,
+                                            start)
+                        if grant > start:
+                            cd["fp_stall_tcdm"] += grant - start
+                            start = grant
+                    append(self._mem.read_f64(addr))
+                    ssr.advance()
+                    ssr.last_pop_time = start
+                    cd["ssr_reads"] += 1
+                    if ssr.indirect:
+                        cd["ssr_index_fetches"] += 1
+                else:
+                    t = fp_ready[idx]
+                    if t > start:
+                        cd["fp_stall_raw"] += t - start
+                        start = t
+                    append(fregs[idx])
+            else:
+                append(self._iregs[idx])
+
+        lat = self._lat[op.index]
+        fp_op = op.fp_op
+
+        if fp_op == F_COMPUTE:
+            result = op.compute(*values)
+            dest = op.dest_idx
+            ssr = self._ssrs[dest] \
+                if (ssr_on and dest < n_ssrs) else None
+            if ssr is not None and ssr.armed and ssr.is_write:
+                addr = ssr.peek_address(self._read_index)
+                if tcdm is not None:
+                    grant = tcdm.access(self._core_id, addr, 8, start)
+                    if grant > start:
+                        cd["fp_stall_tcdm"] += grant - start
+                        start = grant
+                self._mem.write_f64(addr, result)
+                ssr.advance()
+                ssr.last_pop_time = start
+                cd["ssr_writes"] += 1
+                self._mem_commit(addr, 8, start + lat)
+            else:
+                busy = self.fp_wb_busy
+                wb = start + lat
+                if self._fp_wb_ports == 1:
+                    while wb in busy:
+                        wb += 1
+                busy.add(wb)
+                if len(busy) > _WB_TRIM_THRESHOLD:
+                    self._trim_wb(busy)
+                issue = wb - lat
+                if issue > start:
+                    cd["fp_stall_wb_port"] += issue - start
+                    start = issue
+                fregs[dest] = result
+                fp_ready[dest] = wb
+        elif fp_op == F_LOAD:
+            addr = (self._iregs[op.mem_base_idx] + op.imm) & _MASK32
+            t = self._mem_time(addr, 8)
+            if t > start:
+                start = t
+            if tcdm is not None:
+                grant = tcdm.access(self._core_id, addr, op.width,
+                                    start)
+                if grant > start:
+                    cd["fp_stall_tcdm"] += grant - start
+                    start = grant
+            busy = self.fp_wb_busy
+            wb = start + lat
+            if self._fp_wb_ports == 1:
+                while wb in busy:
+                    wb += 1
+            busy.add(wb)
+            if len(busy) > _WB_TRIM_THRESHOLD:
+                self._trim_wb(busy)
+            issue = wb - lat
+            if issue > start:
+                cd["fp_stall_wb_port"] += issue - start
+                start = issue
+            dest = op.dest_idx
+            if op.width == 8:
+                fregs[dest] = self._mem.read_f64(addr)
+            else:
+                fregs[dest] = self._mem.read_f32(addr)
+            fp_ready[dest] = wb
+        elif fp_op == F_STORE:
+            addr = (self._iregs[op.mem_base_idx] + op.imm) & _MASK32
+            value = values[0]
+            width = op.width
+            if tcdm is not None:
+                grant = tcdm.access(self._core_id, addr, width, start)
+                if grant > start:
+                    cd["fp_stall_tcdm"] += grant - start
+                    start = grant
+            if width == 8:
+                self._mem.write_f64(addr, value)
+            else:
+                self._mem.write_f32(addr, value)
+            self._mem_commit(addr, width, start + lat)
+        elif fp_op == F_TO_INT:
+            result = op.compute(*values)
+            dest = op.dest_idx
+            if dest:
+                self._iregs[dest] = result & _MASK32
+            self.int_ready[dest] = (
+                start + lat + self._fp_response_latency
+            )
+        else:                                   # F_BAD
+            raise SimulationError(op.error)
+
+        self.fp_time = start + 1
+        cd["fp_issued"] += 1
+        trace = self._trace
+        if trace is not None:
+            trace.append(TraceEvent("fp", start, op.mnemonic,
+                                    None if sequencer else -1,
+                                    sequencer))
+        counter = op.counter
+        if counter is not None:
+            cd[counter] += 1
+        return start
+
+    # ------------------------------------------------------------------
+    # FREP
+    # ------------------------------------------------------------------
+    def _exec_frep(self, op, pc: int) -> int:
+        """Execute an ``frep.o rs1, n`` pseudo-dual-issue loop.
+
+        The body (next *n* instructions) is dispatched once by the
+        integer core and captured by the sequencer; iterations 1..rs1
+        are issued by the sequencer on the FP timeline only.
+        """
+        cd = self._cd
+        n = op.frep_n
+        if n <= 0:
+            raise SimulationError("frep body must have ≥ 1 instruction")
+        if n > self.cfg.frep_buffer_size:
+            raise SimulationError(
+                f"frep body of {n} instructions exceeds the "
+                f"{self.cfg.frep_buffer_size}-entry sequencer buffer"
+            )
+        if op.frep_error is not None:
+            raise SimulationError(op.frep_error)
+        body = op.frep_body
+
+        # The frep instruction itself occupies one integer issue slot.
+        self._fetch(pc)
+        start = self.int_time
+        rs1 = op.aux0
+        t = self.int_ready[rs1]
+        if t > start:
+            cd["stall_raw_int"] += t - start
+            start = t
+        reps = self._iregs[rs1] + 1
+        self.int_time = start + 1
+        cd["int_issued"] += 1
+        cd["csr_ops"] += 1
+
+        # Iteration 0: dispatched by the core through the queue.
+        for bop in body:
+            self._step_fp(bop, bop.index)
+        # Iterations 1..reps-1: sequencer-issued, FP timeline only.
+        fpss_issue = self._fpss_issue
+        for _ in range(reps - 1):
+            for bop in body:
+                fpss_issue(bop, 0, True)
+                cd["sequencer_issued"] += 1
+        return pc + 1 + n

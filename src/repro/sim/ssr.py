@@ -78,7 +78,7 @@ class SSRError(Exception):
     """Illegal SSR use: popping an exhausted or unarmed stream, etc."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _Config:
     """Raw configuration registers of one SSR."""
 
@@ -93,6 +93,12 @@ class _Config:
 
 class SSR:
     """One stream semantic register data mover."""
+
+    __slots__ = (
+        "index", "cfg", "armed", "is_write", "indirect", "base",
+        "seq", "arm_time", "last_pop_time", "_counters",
+        "_repeat_left", "_done", "total_elements", "_offset",
+    )
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -112,6 +118,10 @@ class SSR:
         self._repeat_left = 0
         self._done = False
         self.total_elements = 0
+        #: Current iteration-space byte offset
+        #: (sum of counter[d] * stride[d] over the active dimensions),
+        #: maintained incrementally by advance().
+        self._offset = 0
 
     # -- configuration -------------------------------------------------------
     def write_config(self, field_code: int, value: int, now: int) -> None:
@@ -153,6 +163,7 @@ class SSR:
         self._counters = [0, 0, 0, 0]
         self._repeat_left = self.cfg.repeat
         self._done = False
+        self._offset = 0
         n = 1
         for d in range(self.cfg.dims):
             n *= self.cfg.bounds[d] + 1
@@ -161,19 +172,11 @@ class SSR:
         # the data access is base + (index << shift).
 
     # -- streaming -----------------------------------------------------------
-    def _current_offset(self) -> int:
-        offset = 0
-        counters = self._counters
-        strides = self.cfg.strides
-        for d in range(self.cfg.dims):
-            offset += counters[d] * strides[d]
-        return offset
-
     def current_index_address(self) -> int:
         """Address of the index element about to be consumed (ISSR)."""
         if not self.indirect:
             raise SSRError(f"ssr{self.index} is not in indirect mode")
-        return self.cfg.idx_base + self._current_offset()
+        return self.cfg.idx_base + self._offset
 
     def peek_address(self, read_index) -> int:
         """Address of the next element, without consuming it.
@@ -194,22 +197,33 @@ class SSR:
             idx = read_index(self.current_index_address(),
                              self.cfg.idx_size)
             return self.base + (idx << self.cfg.idx_shift)
-        return self.base + self._current_offset()
+        return self.base + self._offset
 
     def advance(self) -> None:
-        """Consume the current element, stepping the iteration space."""
+        """Consume the current element, stepping the iteration space.
+
+        The iteration-space byte offset is maintained incrementally
+        (``_offset``), saving the per-element dimension walk the
+        original recomputation did; a stream's stride/bound
+        configuration is fixed while armed (re-arming resets it), so
+        the incremental form is exact.
+        """
         self.seq += 1
         if self._repeat_left > 0:
             self._repeat_left -= 1
             return
-        self._repeat_left = self.cfg.repeat
+        cfg = self.cfg
+        self._repeat_left = cfg.repeat
         counters = self._counters
-        bounds = self.cfg.bounds
-        for d in range(self.cfg.dims):
+        bounds = cfg.bounds
+        strides = cfg.strides
+        for d in range(cfg.dims):
             if counters[d] < bounds[d]:
                 counters[d] += 1
+                self._offset += strides[d]
                 return
             counters[d] = 0
+            self._offset -= bounds[d] * strides[d]
         self._done = True
 
     @property

@@ -1,12 +1,19 @@
-"""CLI tests: artifact routing, --out for every artifact, --json."""
+"""CLI tests: artifact routing, --out/--json, --jobs validation and
+the process-parallel shard runner's determinism guarantee."""
 
 import json
 
 import pytest
 
-from repro.eval import clusterscale
+from repro.eval import clusterscale, fig3
 from repro.eval.__main__ import main
 from repro.eval.io import clusterscale_payload, write_output
+from repro.eval.parallel import (
+    default_jobs,
+    run_sharded,
+    shard_evenly,
+    validate_jobs,
+)
 
 
 class TestClusterScaleArtifact:
@@ -73,3 +80,115 @@ class TestOutRouting:
     def test_bad_cores_rejected(self):
         with pytest.raises(SystemExit):
             main(["clusterscale", "--cores", "zero"])
+
+
+class TestArgumentValidation:
+    """Bad invocations exit with a one-line message, never a traceback."""
+
+    def test_unknown_artifact_clear_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig9"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown artifact 'fig9'" in err
+        assert "clusterscale" in err     # the available list is shown
+
+    def test_unknown_artifact_suggests_all_names(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+        err = capsys.readouterr().err
+        for name in ("table1", "fig2", "fig3", "all", "report"):
+            assert name in err
+
+    def test_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["clusterscale", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_negative_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--jobs", "-2"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_on_unsharded_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--jobs", "2"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs applies to sharded sweeps only" in err
+        assert "'table1'" in err
+
+    def test_jobs_on_report_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["report", "--jobs", "2"])
+        assert "sharded sweeps only" in capsys.readouterr().err
+
+    def test_jobs_one_accepted_everywhere(self, tmp_path):
+        # --jobs 1 is the sequential default and is valid for any
+        # artifact, sharded or not.
+        out = tmp_path / "t1.txt"
+        assert main(["table1", "--n", "256", "--jobs", "1",
+                     "--out", str(out)]) == 0
+
+
+def _square(x):
+    return x * x
+
+
+class TestShardRunner:
+    def test_inline_matches_pool(self):
+        cells = list(range(20))
+        assert run_sharded(_square, cells, jobs=1) \
+            == run_sharded(_square, cells, jobs=3)
+
+    def test_order_preserved(self):
+        cells = [5, 3, 1, 4]
+        assert run_sharded(_square, cells, jobs=2) == [25, 9, 1, 16]
+
+    def test_empty_cells(self):
+        assert run_sharded(_square, [], jobs=4) == []
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError, match="jobs must be"):
+            run_sharded(_square, [1], jobs=0)
+        with pytest.raises(ValueError, match="jobs must be"):
+            validate_jobs(True)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_shard_evenly(self):
+        shards = shard_evenly(range(7), 3)
+        assert sorted(x for s in shards for x in s) == list(range(7))
+        assert max(len(s) for s in shards) \
+            - min(len(s) for s in shards) <= 1
+        with pytest.raises(ValueError):
+            shard_evenly([1], 0)
+
+
+class TestJobsDeterminism:
+    """--jobs N must not change a single byte of any payload."""
+
+    def test_clusterscale_payload_identical(self):
+        seq = clusterscale_payload(
+            clusterscale.generate(n=512, cores=(1, 2), jobs=1))
+        par = clusterscale_payload(
+            clusterscale.generate(n=512, cores=(1, 2), jobs=2))
+        assert json.dumps(seq, sort_keys=True) \
+            == json.dumps(par, sort_keys=True)
+
+    def test_fig3_grid_identical(self):
+        kwargs = dict(block_sizes=(32, 48), problem_sizes=(768,))
+        seq = fig3.generate(jobs=1, **kwargs)
+        par = fig3.generate(jobs=2, **kwargs)
+        assert seq.ipc == par.ipc
+
+    def test_cli_jobs_flag_round_trip(self, tmp_path):
+        out1 = tmp_path / "j1.json"
+        out2 = tmp_path / "j2.json"
+        base = ["clusterscale", "--n", "512", "--cores", "1,2",
+                "--json"]
+        assert main([*base, "--jobs", "1", "--out", str(out1)]) == 0
+        assert main([*base, "--jobs", "2", "--out", str(out2)]) == 0
+        assert out1.read_text() == out2.read_text()

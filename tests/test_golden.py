@@ -1,0 +1,130 @@
+"""Golden-value regression tests: exact cycles/counters/energy.
+
+The micro-op execution core promises *bit-identical* measurements to
+the original interpreter: every cycle count, activity counter and
+energy figure for all six kernels — baseline and COPIFT, on a bare
+``Machine`` and on 1/2/4/8-core clusters — is locked to values recorded
+in ``tests/golden/golden_n512.json``.  Any timing drift (accidental or
+from a future refactor) fails these tests with the exact field that
+moved.
+
+Regenerate after an *intentional* model change with::
+
+    PYTHONPATH=src python tests/test_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_PATH = os.path.join(GOLDEN_DIR, "golden_n512.json")
+
+#: Problem size: large enough to exercise steady state, multiple of
+#: 8 cores x the minimum COPIFT chunk.
+N = 512
+CORES = (1, 2, 4, 8)
+
+
+def collect() -> dict:
+    """Measure everything the golden file locks in."""
+    from repro.energy import EnergyModel
+    from repro.eval import clusterscale
+    from repro.eval.io import clusterscale_payload
+    from repro.kernels.common import MAIN_REGION
+    from repro.kernels.registry import KERNELS
+
+    machine_rows = {}
+    model = EnergyModel()
+    for name, kernel_def in KERNELS.items():
+        for variant in ("baseline", "copift"):
+            if variant == "baseline":
+                instance = kernel_def.build_baseline(N)
+            else:
+                instance = kernel_def.build_copift(
+                    N, block=kernel_def.default_block)
+            result, _ = instance.run(check=True)
+            region = result.region(MAIN_REGION)
+            power = model.report(
+                region.counters, region.cycles,
+                dma_active=instance.dma_active,
+                dma_bytes=instance.dma_bytes,
+            )
+            machine_rows[f"{name}/{variant}"] = {
+                "cycles": result.cycles,
+                "region_cycles": region.cycles,
+                "ipc": region.ipc,
+                "counters": dict(vars(result.counters)),
+                "region_counters": dict(vars(region.counters)),
+                "power_mw": power.power_mw,
+                "energy_pj": power.total_energy_pj,
+            }
+
+    cluster = clusterscale_payload(
+        clusterscale.generate(n=N, cores=CORES))
+    return {"n": N, "cores": list(CORES),
+            "machine": machine_rows, "clusterscale": cluster}
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail(f"missing golden file {GOLDEN_PATH}; regenerate "
+                    f"with: python tests/test_golden.py --regen")
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    # Round-trip through JSON so numeric types compare like-for-like
+    # (tuples become lists, ints stay ints, floats stay bit-exact).
+    return json.loads(json.dumps(collect()))
+
+
+class TestGoldenMachine:
+    """Single-core Machine runs: cycles, counters, energy."""
+
+    def test_same_kernel_set(self, golden, current):
+        assert sorted(current["machine"]) == sorted(golden["machine"])
+
+    @pytest.mark.parametrize("field", [
+        "cycles", "region_cycles", "ipc", "power_mw", "energy_pj",
+    ])
+    def test_scalars_bit_identical(self, golden, current, field):
+        for key, row in golden["machine"].items():
+            assert current["machine"][key][field] == row[field], key
+
+    def test_counters_bit_identical(self, golden, current):
+        for key, row in golden["machine"].items():
+            got = current["machine"][key]
+            assert got["counters"] == row["counters"], key
+            assert got["region_counters"] == row["region_counters"], key
+
+
+class TestGoldenCluster:
+    """1/2/4/8-core cluster sweeps: full clusterscale payload."""
+
+    def test_payload_bit_identical(self, golden, current):
+        assert current["clusterscale"] == golden["clusterscale"]
+
+
+def _regen() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    data = collect()
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
+        sys.exit(2)
