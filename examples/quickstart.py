@@ -1,40 +1,53 @@
-"""Quickstart: measure one kernel, baseline vs COPIFT.
+"""Quickstart: the unified experiment API in five lines.
 
 Runs the paper's flagship ``expf`` kernel (vector exponential) in both
 variants on the simulated Snitch-like core and prints the headline
 metrics: steady-state IPC, speedup, power and energy improvement.
+
+The core of it::
+
+    from repro.api import Workload, parse_backend
+
+    backend = parse_backend("core")          # or "cluster:4"
+    record = backend.run(Workload("expf", "copift", n=2048))
+    print(record.cycles, record.ipc, record.power_mw)
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import kernel, measure_kernel
+from repro.api import Workload, parse_backend
 
 
 def main() -> None:
-    kernel_def = kernel("expf")
-    measurement = measure_kernel(kernel_def, n=2048, block=64)
+    backend = parse_backend("core")
+    base = backend.run(Workload("expf", "baseline", n=2048))
+    cop = backend.run(Workload("expf", "copift", n=2048, block=64))
 
-    base = measurement.baseline
-    cop = measurement.copift
-    print(f"expf over {measurement.n} elements "
-          f"(COPIFT block size {measurement.block})\n")
+    print(f"expf over {cop.n} elements "
+          f"(COPIFT block size {cop.block})\n")
     print(f"{'':>24}  {'baseline':>10} {'COPIFT':>10}")
     print(f"{'cycles':>24}  {base.cycles:>10} {cop.cycles:>10}")
     print(f"{'IPC':>24}  {base.ipc:>10.3f} {cop.ipc:>10.3f}")
     print(f"{'power [mW]':>24}  {base.power_mw:>10.1f} "
           f"{cop.power_mw:>10.1f}")
-    print(f"{'energy [uJ]':>24}  {base.power.energy_uj:>10.3f} "
-          f"{cop.power.energy_uj:>10.3f}")
+    print(f"{'energy [uJ]':>24}  {base.energy_uj:>10.3f} "
+          f"{cop.energy_uj:>10.3f}")
     print()
-    print(f"speedup:            {measurement.speedup:.2f}x")
-    print(f"IPC gain:           {measurement.ipc_gain:.2f}x")
-    print(f"power increase:     {measurement.power_increase:.2f}x")
-    print(f"energy improvement: {measurement.energy_improvement:.2f}x")
+    print(f"speedup:            {base.cycles / cop.cycles:.2f}x")
+    print(f"IPC gain:           {cop.ipc / base.ipc:.2f}x")
+    print(f"power increase:     {cop.power_mw / base.power_mw:.2f}x")
+    print(f"energy improvement: "
+          f"{base.energy_pj / cop.energy_pj:.2f}x")
     print()
     print("(paper, Fig. 2: speedup 2.05x, IPC 0.92 -> 1.63, "
           "power 43.6 -> 46.2 mW, energy improvement 1.93x)")
+    print()
+    print("every record serializes to a stable, versioned schema:")
+    payload = cop.to_json()
+    print(f"  RunRecord.to_json() schema v{payload['schema']}: "
+          f"{sorted(payload)}")
 
 
 if __name__ == "__main__":

@@ -14,21 +14,32 @@ Package map:
 * :mod:`repro.energy`  -- activity-based power/energy model.
 * :mod:`repro.copift`  -- the seven-step COPIFT methodology + Eqs. 1-3.
 * :mod:`repro.kernels` -- the six evaluated kernels, baseline + COPIFT.
+* :mod:`repro.api`     -- unified experiment API: Workload, backends,
+  RunRecord, Sweep, the artifact registry.
 * :mod:`repro.eval`    -- Table I, Figures 2-3, cluster scaling.
 
 Quick start::
 
-    from repro.kernels import kernel
-    from repro.eval import measure_kernel
+    from repro.api import Workload, parse_backend
 
-    m = measure_kernel(kernel("expf"), n=4096)
-    print(m.speedup, m.copift.ipc, m.energy_improvement)
+    record = parse_backend("core").run(Workload("expf", "copift",
+                                                n=4096))
+    print(record.cycles, record.ipc, record.power_mw)
 """
 
+from .api import (
+    ClusterBackend,
+    CoreBackend,
+    RunRecord,
+    Sweep,
+    Workload,
+    parse_backend,
+)
 from .eval import measure_instance, measure_kernel
 from .kernels import KERNELS, kernel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["KERNELS", "kernel", "measure_instance", "measure_kernel",
-           "__version__"]
+__all__ = ["KERNELS", "ClusterBackend", "CoreBackend", "RunRecord",
+           "Sweep", "Workload", "kernel", "measure_instance",
+           "measure_kernel", "parse_backend", "__version__"]

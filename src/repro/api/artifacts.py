@@ -1,0 +1,178 @@
+"""Artifact registry: declarative eval subcommands.
+
+An *artifact* is a named, reproducible output (Table I, Figure 2, ...)
+rendered as human text plus a machine-readable JSON payload
+(:class:`ArtifactResult`).  Modules register them with the
+:func:`artifact` decorator::
+
+    @artifact("fig3", help="poly_lcg IPC over a block/problem grid",
+              sharded=True)
+    def fig3_artifact(request: ArtifactRequest) -> ArtifactResult:
+        ...
+
+and ``python -m repro.eval`` becomes a generic dispatcher: subcommand
+names, ``--list`` output, unknown-artifact errors and the set of
+``--jobs``-capable artifacts all come from this registry instead of
+hard-coded tables.  Adding a scenario is one registered function — no
+CLI surgery.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ArtifactResult:
+    """One regenerated artifact: human text + machine payload."""
+
+    name: str
+    text: str
+    payload: dict
+
+
+@dataclass(frozen=True)
+class ArtifactRequest:
+    """Normalized CLI/config options an artifact runs with.
+
+    ``n`` and ``cores`` are ``None`` unless the caller explicitly
+    chose them — each artifact resolves its own default via
+    :meth:`effective_n` / :meth:`effective_cores`, and can warn about
+    out-of-range values only when the user actually asked for them.
+    """
+
+    n: int | None = None
+    full: bool = False
+    cores: tuple[int, ...] | None = None
+    jobs: int = 1
+
+    def effective_n(self, default: int) -> int:
+        """The explicit problem size, or the artifact's *default*."""
+        return self.n if self.n is not None else default
+
+    def effective_cores(self, default: tuple[int, ...]
+                        ) -> tuple[int, ...]:
+        """The explicit core counts, or the artifact's *default*."""
+        return self.cores if self.cores is not None else default
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One registry entry."""
+
+    name: str
+    func: Callable[[ArtifactRequest], ArtifactResult]
+    help: str = ""
+    #: Whether the artifact's sweep honours ``--jobs`` sharding.
+    sharded: bool = False
+    #: Alternate CLI names resolving to this artifact (e.g. fig2a).
+    aliases: tuple[str, ...] = ()
+    #: Composites (all/report) are excluded from the ``all`` bundle.
+    composite: bool = False
+    #: Listing/report position.  Lower sorts first; ties break on
+    #: registration order.  Independent of module import order.
+    order: int = 100
+
+    def run(self, request: ArtifactRequest) -> ArtifactResult:
+        return self.func(request)
+
+
+#: The registry, keyed by name; iterate via :func:`specs` for report
+#: order (explicit ``order`` field, not import order).
+REGISTRY: dict[str, ArtifactSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def specs() -> list[ArtifactSpec]:
+    """All registered artifacts, in report order."""
+    return sorted(REGISTRY.values(), key=lambda s: s.order)
+
+
+def artifact(name: str, help: str = "", sharded: bool = False,
+             aliases: tuple[str, ...] = (),
+             composite: bool = False, order: int = 100) -> Callable:
+    """Register the decorated function as the artifact *name*."""
+    def register(func: Callable) -> Callable:
+        if name in REGISTRY or name in _ALIASES:
+            raise ValueError(f"artifact {name!r} already registered")
+        spec = ArtifactSpec(name=name, func=func, help=help,
+                            sharded=sharded, aliases=tuple(aliases),
+                            composite=composite, order=order)
+        REGISTRY[name] = spec
+        for alias in spec.aliases:
+            if alias in REGISTRY or alias in _ALIASES:
+                raise ValueError(
+                    f"artifact alias {alias!r} already registered")
+            _ALIASES[alias] = name
+        return func
+    return register
+
+
+def get(name: str) -> ArtifactSpec:
+    """Resolve an artifact (or alias) name, raising ``KeyError``.
+
+    The error message (``exc.args[0]``) lists every valid name,
+    aliases included; the CLI reuses it verbatim.
+    """
+    canonical = _ALIASES.get(name, name)
+    try:
+        return REGISTRY[canonical]
+    except KeyError:
+        raise KeyError(
+            f"unknown artifact {name!r}; available artifacts: "
+            + ", ".join(names(include_aliases=True))
+        ) from None
+
+
+def names(include_aliases: bool = False) -> list[str]:
+    """Registered artifact names, in report order."""
+    result = [spec.name for spec in specs()]
+    if include_aliases:
+        result += sorted(_ALIASES)
+    return result
+
+
+def sharded_names() -> list[str]:
+    return [spec.name for spec in specs() if spec.sharded]
+
+
+def bundle_names() -> list[str]:
+    """Artifacts included in the ``all`` composite, in report order."""
+    return [spec.name for spec in specs() if not spec.composite]
+
+
+def describe() -> str:
+    """One line per artifact: name, aliases, help (for ``--list``)."""
+    if not REGISTRY:
+        return "  (no artifacts registered)"
+    width = max(len(name) for name in REGISTRY)
+    lines = []
+    for spec in specs():
+        alias = f" (also: {', '.join(spec.aliases)})" if spec.aliases \
+            else ""
+        lines.append(f"  {spec.name:<{width}}  {spec.help}{alias}")
+    return "\n".join(lines)
+
+
+def combine(results: list[ArtifactResult]) -> tuple[str, dict]:
+    """Concatenate texts and merge payloads keyed by artifact name."""
+    text = "\n\n".join(r.text for r in results)
+    payload = {r.name: r.payload for r in results}
+    return text, payload
+
+
+def write_output(text: str, payload: dict, out: str | None,
+                 as_json: bool) -> None:
+    """Route an artifact to stdout or ``--out``, as text or JSON."""
+    content = json.dumps(payload, indent=2, sort_keys=True) \
+        if as_json else text
+    if out:
+        with open(out, "w") as handle:
+            handle.write(content)
+            if not content.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {out}")
+    else:
+        print(content)

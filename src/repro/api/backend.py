@@ -1,0 +1,217 @@
+"""Execution backends: where a workload runs.
+
+A backend turns a :class:`~repro.api.workload.Workload` into a
+:class:`~repro.api.record.RunRecord`.  Two implementations exist:
+
+* :class:`CoreBackend` — one bare Snitch-like ``Machine`` (the paper's
+  single-core measurements, Figures 2-3).
+* :class:`ClusterBackend` — an N-core cluster via
+  :func:`repro.cluster.partition_kernel` (banked TCDM, DMA staging,
+  trailing barrier; the ``clusterscale`` artifact).
+
+Backends are named by **spec strings** — ``"core"``, ``"cluster:4"`` —
+so CLIs, configs and sweep definitions can all select them uniformly
+through :func:`parse_backend`.  Both implementations are frozen,
+picklable dataclasses, so sweep cells can carry them into worker
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from ..cluster import ClusterConfig, partition_kernel
+from ..energy import ClusterEnergyModel, EnergyModel
+from ..kernels.common import MAIN_REGION, KernelInstance
+from ..sim import CoreConfig
+from .record import ClusterDetail, RunRecord
+from .workload import Workload
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can run a workload and produce a RunRecord."""
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string naming this backend."""
+        ...
+
+    def run(self, workload: Workload, check: bool = False) -> RunRecord:
+        """Simulate *workload*; optionally verify kernel results."""
+        ...
+
+
+def record_from_instance(instance: KernelInstance,
+                         config: CoreConfig | None = None,
+                         energy_model: EnergyModel | None = None,
+                         check: bool = True,
+                         seed: int | None = None) -> RunRecord:
+    """Run an already-built instance on a bare core, as a RunRecord.
+
+    This is the single measurement path shared by :class:`CoreBackend`
+    and the legacy ``repro.eval.measure_instance`` shim: main-region
+    cycles/counters, IPC, and the energy model priced on the kernel's
+    conceptual DMA traffic.
+    """
+    model = energy_model or EnergyModel()
+    result, _ = instance.run(config=config, check=check)
+    region = result.region(MAIN_REGION)
+    counters = region.counters
+    power = model.report(
+        counters, region.cycles,
+        dma_active=instance.dma_active,
+        dma_bytes=instance.dma_bytes,
+    )
+    return RunRecord(
+        kernel=instance.name,
+        variant=instance.variant,
+        n=instance.n,
+        block=instance.block,
+        seed=seed,
+        backend="core",
+        cycles=region.cycles,
+        total_cycles=result.cycles,
+        int_instructions=counters.int_issued,
+        fp_instructions=counters.fp_issued,
+        ipc=region.ipc,
+        counters=dict(vars(counters)),
+        power=power,
+    )
+
+
+@dataclass(frozen=True)
+class CoreBackend:
+    """A single bare core (no cluster interconnect)."""
+
+    config: CoreConfig | None = None
+    energy_model: EnergyModel | None = field(default=None, compare=False)
+
+    @property
+    def spec(self) -> str:
+        return "core"
+
+    def run(self, workload: Workload, check: bool = False) -> RunRecord:
+        return record_from_instance(
+            workload.build(), config=self.config,
+            energy_model=self.energy_model, check=check,
+            seed=workload.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterBackend:
+    """An N-core cluster; the workload is statically chunked over it."""
+
+    cores: int = 8
+    config: ClusterConfig | None = None
+    core_config: CoreConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+
+    @property
+    def spec(self) -> str:
+        return f"cluster:{self.cores}"
+
+    def run(self, workload: Workload, check: bool = False) -> RunRecord:
+        if workload.seed is not None:
+            raise ValueError(
+                "cluster backends derive per-core seeds from the "
+                "partitioner; build the workload with seed=None"
+            )
+        # ClusterWorkload.run resizes config.n_cores to the partition
+        # itself; only tcdm_banks is read here (for the power report).
+        config = self.config or ClusterConfig()
+        parted = partition_kernel(
+            workload.kernel_def, workload.n, self.cores,
+            variant=workload.variant, block=workload.block,
+        )
+        result = parted.run(config=config,
+                            core_config=self.core_config, check=check)
+        region = result.region(MAIN_REGION)
+        cycles = region.cycles
+        # DMA energy is priced on the kernels' *conceptual* traffic
+        # (input staging + output drain), exactly as the single-core
+        # energy model prices the same instances — the engine's
+        # measured bytes cover only the transfers the cluster actually
+        # models (staged inputs), which would make the 1-core power
+        # column disagree with Fig. 2.
+        priced_dma_bytes = sum(i.dma_bytes for i in parted.instances)
+        power = ClusterEnergyModel().report(
+            region.counters, cycles, self.cores,
+            n_banks=config.tcdm_banks,
+            tcdm_accesses=result.tcdm_accesses,
+            tcdm_conflict_cycles=result.tcdm_conflict_cycles,
+            dma_bytes=priced_dma_bytes,
+            dma_transfers=result.counters.dma_transfers,
+            barriers=result.barrier_count,
+            dma_active=any(i.dma_active for i in parted.instances),
+        )
+        return RunRecord(
+            kernel=workload.kernel,
+            variant=workload.variant,
+            n=workload.n,
+            block=parted.block,
+            seed=None,
+            backend=self.spec,
+            cycles=cycles,
+            total_cycles=result.cycles,
+            int_instructions=region.counters.int_issued,
+            fp_instructions=region.counters.fp_issued,
+            ipc=region.ipc,
+            counters=dict(vars(region.counters)),
+            power=power,
+            cluster=ClusterDetail(
+                cores=self.cores,
+                tcdm_accesses=result.tcdm_accesses,
+                tcdm_conflict_cycles=result.tcdm_conflict_cycles,
+                tcdm_bank_conflicts=tuple(result.tcdm_bank_conflicts),
+                dma_bytes=result.dma_bytes,
+                dma_busy_cycles=result.dma_busy_cycles,
+                barrier_count=result.barrier_count,
+                core_cycles=tuple(r.cycles
+                                  for r in result.core_results),
+            ),
+        )
+
+
+def parse_backend(spec: str, core_config: CoreConfig | None = None,
+                  cluster_config: ClusterConfig | None = None) -> Backend:
+    """Resolve a backend spec string to a backend instance.
+
+    Accepted forms: ``"core"`` (bare core), ``"cluster"`` (cluster at
+    its default size) and ``"cluster:N"`` (N-core cluster, N >= 1).
+    Optional configs are attached to whichever backend is built.
+    """
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"backend spec must be a string, got {type(spec).__name__}"
+        )
+    text = spec.strip()
+    if text == "core":
+        return CoreBackend(config=core_config)
+    if text == "cluster" or text.startswith("cluster:"):
+        if text == "cluster":
+            cores = (cluster_config or ClusterConfig()).n_cores
+        else:
+            count = text.split(":", 1)[1]
+            try:
+                cores = int(count)
+            except ValueError:
+                raise ValueError(
+                    f"bad core count {count!r} in backend spec "
+                    f"{spec!r}; expected 'cluster:N' with integer N"
+                ) from None
+            if cores < 1:
+                raise ValueError(
+                    f"core count must be >= 1 in backend spec {spec!r}"
+                )
+        return ClusterBackend(cores=cores, config=cluster_config,
+                              core_config=core_config)
+    raise ValueError(
+        f"unknown backend spec {spec!r}; expected 'core', 'cluster' "
+        f"or 'cluster:N'"
+    )

@@ -1,0 +1,184 @@
+"""Unified run result: one record shape for every backend.
+
+Every way of running a workload — a bare core, an N-core cluster, a
+sweep cell in a worker process — reduces to one :class:`RunRecord`:
+main-region cycles and instruction counts, IPC, power/energy from the
+energy model, and (when clustered) the shared-resource detail the
+cluster artifacts report (bank-conflict stalls, DMA traffic, barriers,
+per-core cycles).
+
+The JSON schema (:meth:`RunRecord.to_json` / :meth:`RunRecord.from_json`)
+is versioned: ``schema`` is bumped whenever a field changes meaning, so
+persisted payloads can be validated instead of silently reinterpreted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy import PowerReport
+
+#: Version of the ``RunRecord.to_json`` schema.  Bump on any change to
+#: field names or semantics.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ClusterDetail:
+    """Shared-resource measurements of a clustered run.
+
+    Attributes:
+        cores: Number of cores in the cluster.
+        tcdm_accesses: Banked-TCDM grants over the whole run.
+        tcdm_conflict_cycles: Total bank-conflict stall cycles.
+        tcdm_bank_conflicts: Per-bank conflict cycles.
+        dma_bytes: Bytes moved by the shared DMA engine (the engine's
+            measured traffic — staged inputs only; the *priced* DMA
+            traffic in ``power`` uses the kernels' conceptual bytes,
+            exactly as the single-core energy model does).
+        dma_busy_cycles: Cycles the DMA engine was occupied.
+        barrier_count: Barrier episodes completed by the cluster.
+        core_cycles: Per-core elapsed cycles, in core order.
+    """
+
+    cores: int
+    tcdm_accesses: int
+    tcdm_conflict_cycles: int
+    tcdm_bank_conflicts: tuple[int, ...]
+    dma_bytes: int
+    dma_busy_cycles: int
+    barrier_count: int
+    core_cycles: tuple[int, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "cores": self.cores,
+            "tcdm_accesses": self.tcdm_accesses,
+            "tcdm_conflict_cycles": self.tcdm_conflict_cycles,
+            "tcdm_bank_conflicts": list(self.tcdm_bank_conflicts),
+            "dma_bytes": self.dma_bytes,
+            "dma_busy_cycles": self.dma_busy_cycles,
+            "barrier_count": self.barrier_count,
+            "core_cycles": list(self.core_cycles),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ClusterDetail":
+        return cls(
+            cores=data["cores"],
+            tcdm_accesses=data["tcdm_accesses"],
+            tcdm_conflict_cycles=data["tcdm_conflict_cycles"],
+            tcdm_bank_conflicts=tuple(data["tcdm_bank_conflicts"]),
+            dma_bytes=data["dma_bytes"],
+            dma_busy_cycles=data["dma_busy_cycles"],
+            barrier_count=data["barrier_count"],
+            core_cycles=tuple(data["core_cycles"]),
+        )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One workload run on one backend, reduced to reportable numbers.
+
+    Cycle and instruction counts are taken from the kernel's ``main``
+    region (setup excluded), matching how every paper artifact measures;
+    ``total_cycles`` is the whole program for completeness.  Power and
+    energy come from the (cluster) energy model over the same region.
+    """
+
+    kernel: str
+    variant: str
+    n: int
+    block: int | None
+    backend: str                     # backend spec string, e.g. "core"
+    cycles: int                      # main-region makespan
+    total_cycles: int
+    int_instructions: int
+    fp_instructions: int
+    ipc: float
+    counters: dict                   # main-region activity counters
+    power: PowerReport
+    cluster: ClusterDetail | None = None
+    seed: int | None = None
+
+    @property
+    def instructions(self) -> int:
+        return self.int_instructions + self.fp_instructions
+
+    @property
+    def power_mw(self) -> float:
+        return self.power.power_mw
+
+    @property
+    def energy_pj(self) -> float:
+        return self.power.total_energy_pj
+
+    @property
+    def energy_uj(self) -> float:
+        return self.power.energy_uj
+
+    def to_json(self) -> dict:
+        """Stable, versioned JSON form (plain dict of primitives)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "n": self.n,
+            "block": self.block,
+            "seed": self.seed,
+            "backend": self.backend,
+            "cycles": self.cycles,
+            "total_cycles": self.total_cycles,
+            "int_instructions": self.int_instructions,
+            "fp_instructions": self.fp_instructions,
+            "ipc": self.ipc,
+            "counters": dict(self.counters),
+            "power": {
+                "cycles": self.power.cycles,
+                "dynamic_energy_pj": self.power.dynamic_energy_pj,
+                "constant_energy_pj": self.power.constant_energy_pj,
+                "breakdown_pj": dict(self.power.breakdown_pj),
+                "power_mw": self.power.power_mw,
+                "energy_pj": self.power.total_energy_pj,
+            },
+            "cluster": self.cluster.to_json() if self.cluster else None,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunRecord":
+        """Rebuild a record from :meth:`to_json` output.
+
+        Raises ``ValueError`` on a schema-version mismatch so stale
+        payloads fail loudly instead of deserializing wrong.
+        """
+        version = data.get("schema")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"RunRecord schema mismatch: payload has "
+                f"{version!r}, this build reads {SCHEMA_VERSION}"
+            )
+        p = data["power"]
+        power = PowerReport(
+            cycles=p["cycles"],
+            dynamic_energy_pj=p["dynamic_energy_pj"],
+            constant_energy_pj=p["constant_energy_pj"],
+            breakdown_pj=dict(p["breakdown_pj"]),
+        )
+        cluster = ClusterDetail.from_json(data["cluster"]) \
+            if data.get("cluster") else None
+        return cls(
+            kernel=data["kernel"],
+            variant=data["variant"],
+            n=data["n"],
+            block=data["block"],
+            seed=data["seed"],
+            backend=data["backend"],
+            cycles=data["cycles"],
+            total_cycles=data["total_cycles"],
+            int_instructions=data["int_instructions"],
+            fp_instructions=data["fp_instructions"],
+            ipc=data["ipc"],
+            counters=dict(data["counters"]),
+            power=power,
+            cluster=cluster,
+        )

@@ -1,0 +1,135 @@
+"""Declarative sweeps: workloads x backends, executed in one place.
+
+A :class:`Sweep` is the cross-product of workload specs and backend
+specs.  Its executor is the **only** sharding/batching site in the
+repo: every artifact fans its cells through :meth:`Sweep.run`, which
+
+* preserves **input order** — results line up with :meth:`Sweep.cells`
+  regardless of parallelism;
+* guarantees **determinism** — each cell's record depends only on the
+  (workload, backend) pair, so ``jobs=N`` output is bit-identical to
+  ``jobs=1`` (the property the CLI's ``--jobs`` flag documents);
+* **batches** fine-grained cells per pool task via
+  :func:`repro.eval.parallel.shard_evenly`, amortizing process startup
+  and pickling overhead when a sweep has many more cells than workers.
+
+Cells (workload + backend dataclasses) are picklable by construction,
+so the executor needs no per-artifact worker plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .backend import Backend, parse_backend
+from .record import RunRecord
+from .workload import Workload
+
+#: Target pool tasks per worker process.  More than one keeps the pool
+#: load-balanced when cell costs vary (big-n cells dominate sweeps);
+#: far fewer tasks than cells amortizes fork/pickle overhead.
+_BATCHES_PER_JOB = 4
+
+
+def _run_batch(batch: list) -> list:
+    """Pool worker: run one batch of indexed cells.
+
+    Module-level (picklable by reference); returns ``(index, record)``
+    pairs so the merger can restore global sweep order no matter how
+    cells were grouped into batches.
+    """
+    return [(index, backend.run(workload, check=check))
+            for index, workload, backend, check in batch]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """Cross-product sweep of workloads over backends.
+
+    Attributes:
+        workloads: Workload specs, in result-major order.
+        backends: Backend instances or spec strings (``"core"``,
+            ``"cluster:4"``); strings are resolved on construction.
+    """
+
+    workloads: tuple[Workload, ...]
+    backends: tuple[Backend, ...] = ("core",)
+
+    def __init__(self, workloads: Iterable[Workload],
+                 backends: Sequence[Backend | str] = ("core",)) -> None:
+        resolved = tuple(
+            parse_backend(b) if isinstance(b, str) else b
+            for b in backends
+        )
+        object.__setattr__(self, "workloads", tuple(workloads))
+        object.__setattr__(self, "backends", resolved)
+        if not self.workloads:
+            raise ValueError("sweep needs at least one workload")
+        if not resolved:
+            raise ValueError("sweep needs at least one backend")
+
+    def cells(self) -> list[tuple[Workload, Backend]]:
+        """The sweep cells, workload-major, in execution order."""
+        return [(w, b) for w in self.workloads for b in self.backends]
+
+    def run(self, jobs: int = 1, check: bool = False) -> list[RunRecord]:
+        """Execute every cell; records come back in :meth:`cells` order.
+
+        ``jobs=1`` runs inline (no pool); higher values shard batched
+        cells over that many host processes.  Output is identical for
+        every *jobs* value.
+        """
+        # Imported here, not at module top: repro.eval's package init
+        # imports the artifact modules (which import repro.api), so a
+        # top-level import would cycle during package initialization.
+        from ..eval.parallel import (
+            run_sharded,
+            shard_evenly,
+            validate_jobs,
+        )
+
+        validate_jobs(jobs)
+        indexed = [(i, w, b, check)
+                   for i, (w, b) in enumerate(self.cells())]
+        if jobs == 1 or len(indexed) <= 1:
+            return [record for _, record in _run_batch(indexed)]
+        batches = shard_evenly(indexed,
+                               min(len(indexed), jobs * _BATCHES_PER_JOB))
+        merged = [pair
+                  for batch in run_sharded(_run_batch, batches, jobs=jobs)
+                  for pair in batch]
+        merged.sort(key=lambda pair: pair[0])
+        return [record for _, record in merged]
+
+    def index(self, records: Sequence[RunRecord]
+              ) -> dict[tuple[Workload, str], RunRecord]:
+        """Key already-computed :meth:`run` output by
+        ``(workload, backend spec)`` — no re-simulation.
+
+        Raises ``ValueError`` if two cells share a key (duplicate
+        workloads, or two backends with the same spec string, e.g. two
+        differently-configured ``CoreBackend``s) — a dict would
+        silently keep only the last record.
+        """
+        cells = self.cells()
+        if len(records) != len(cells):
+            raise ValueError(
+                f"{len(records)} records for {len(cells)} cells; "
+                f"pass the unfiltered output of run()"
+            )
+        indexed: dict[tuple[Workload, str], RunRecord] = {}
+        for (w, b), record in zip(cells, records):
+            key = (w, b.spec)
+            if key in indexed:
+                raise ValueError(
+                    f"duplicate sweep cell {w.kernel}/{w.variant} on "
+                    f"{b.spec!r}; use run() for positional results"
+                )
+            indexed[key] = record
+        return indexed
+
+    def run_indexed(self, jobs: int = 1, check: bool = False
+                    ) -> dict[tuple[Workload, str], RunRecord]:
+        """:meth:`run` + :meth:`index` in one call."""
+        return self.index(self.run(jobs=jobs, check=check))

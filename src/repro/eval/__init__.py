@@ -1,8 +1,26 @@
 """Evaluation harness: the paper's Table I and Figures 2-3, plus the
-cluster-scaling artifact (``clusterscale``) and the process-parallel
-sweep sharding behind ``--jobs`` (:mod:`repro.eval.parallel`)."""
+cluster-scaling artifact (``clusterscale``).
+
+Artifacts are built on the unified experiment API (:mod:`repro.api`):
+each module registers itself with ``@artifact(...)`` and runs its
+measurements through ``Workload``/``Backend``/``Sweep``.  The legacy
+``measure_instance``/``measure_kernel`` helpers remain as thin shims
+over :class:`repro.api.RunRecord`.
+"""
 
 from .parallel import default_jobs, run_sharded
+
+# Importing the artifact modules populates the ``repro.api`` artifact
+# registry, so library users see the same registry the CLI dispatches
+# from (not just after a ``python -m repro.eval`` run).
+from . import (  # noqa: F401
+    clusterscale,
+    composite,
+    fig2,
+    fig3,
+    report,
+    table1,
+)
 from .runner import (
     KernelMeasurement,
     VariantMeasurement,

@@ -2,6 +2,7 @@
 
 Usage::
 
+    python -m repro.eval --list
     python -m repro.eval table1
     python -m repro.eval fig2 [--n 4096]
     python -m repro.eval fig3 [--full] [--jobs N]
@@ -10,14 +11,18 @@ Usage::
     python -m repro.eval all [--out results.txt] [--json] [--jobs N]
     python -m repro.eval report --out report.md
 
-Every artifact (including ``all``) honours ``--out`` and ``--json``:
-``--out`` writes the rendered artifact to a file, ``--json`` switches
-the output to a machine-readable JSON payload.
+The subcommands are **registered artifacts** (``repro.api.artifact``):
+importing the artifact modules below fills the registry, and everything
+else — the available-name list, ``--list`` output, which artifacts
+accept ``--jobs`` — is derived from it.  Every artifact (including
+``all``) honours ``--out`` and ``--json``: ``--out`` writes the
+rendered artifact to a file, ``--json`` switches the output to a
+machine-readable JSON payload.
 
-``--jobs N`` shards the simulation sweeps behind ``fig3`` and
-``clusterscale`` (and both inside ``all``) over N host processes.
-Sweeps are deterministic per cell, so the output is bit-identical for
-every N; the flag only changes wall-clock time.
+``--jobs N`` shards the simulation sweeps of the artifacts marked
+*sharded* in the registry over N host processes.  Sweeps are
+deterministic per cell, so the output is bit-identical for every N;
+the flag only changes wall-clock time.
 """
 
 from __future__ import annotations
@@ -25,16 +30,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import clusterscale, fig2, fig3, report, table1
-from .io import (
-    ArtifactResult,
-    clusterscale_payload,
-    combine,
-    fig2_payload,
-    fig3_payload,
-    table1_payload,
-    write_output,
-)
+from ..api import artifacts
+from ..api.artifacts import ArtifactRequest, write_output
+
+# The package __init__ has already imported every artifact module,
+# registering the subcommands this dispatcher serves.
 from .parallel import default_jobs
 
 
@@ -52,50 +52,6 @@ def _parse_cores(text: str) -> tuple[int, ...]:
     return cores
 
 
-def _run_table1(args) -> ArtifactResult:
-    rows = table1.generate(n=min(args.n, 2048))
-    return ArtifactResult("table1", table1.render(rows),
-                          table1_payload(rows))
-
-
-def _run_fig2(args) -> ArtifactResult:
-    data = fig2.generate(n=args.n)
-    return ArtifactResult("fig2", fig2.render(data), fig2_payload(data))
-
-
-def _run_fig3(args) -> ArtifactResult:
-    data = fig3.generate(full=args.full, jobs=args.jobs)
-    return ArtifactResult("fig3", fig3.render(data), fig3_payload(data))
-
-
-def _run_clusterscale(args) -> ArtifactResult:
-    data = clusterscale.generate(n=args.n, cores=args.cores,
-                                 jobs=args.jobs)
-    return ArtifactResult("clusterscale", clusterscale.render(data),
-                          clusterscale_payload(data))
-
-
-_RUNNERS = {
-    "table1": _run_table1,
-    "fig2": _run_fig2,
-    "fig2a": _run_fig2,
-    "fig2b": _run_fig2,
-    "fig2c": _run_fig2,
-    "fig3": _run_fig3,
-    "clusterscale": _run_clusterscale,
-}
-
-#: Artifacts regenerated by ``all``, in report order.
-_ALL = ("table1", "fig2", "fig3", "clusterscale")
-
-#: Artifacts whose sweeps go through the process-parallel shard runner.
-_SHARDED = ("fig3", "clusterscale", "all")
-
-
-def _artifact_names() -> list[str]:
-    return [*_RUNNERS, "all", "report"]
-
-
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
@@ -105,23 +61,27 @@ def main(argv: list[str] | None = None) -> int:
     # unknown names get one clear line listing what exists instead of
     # a usage dump the user has to parse.
     parser.add_argument(
-        "artifact",
+        "artifact", nargs="?", default=None,
         help="Which artifact to regenerate: "
-             + ", ".join(_artifact_names()) + ".",
+             + ", ".join(artifacts.names(include_aliases=True))
+             + " (see --list).",
     )
-    parser.add_argument("--n", type=int, default=4096,
+    parser.add_argument("--list", action="store_true", dest="list_",
+                        help="List every registered artifact with its "
+                             "description and exit.")
+    parser.add_argument("--n", type=int, default=None,
                         help="Problem size for Fig. 2 / clusterscale "
-                             "measurements.")
+                             "measurements (default 4096; table1 "
+                             "defaults to its converged 2048).")
     parser.add_argument("--full", action="store_true",
                         help="Use the paper's full Fig. 3 grid "
                              "(slow sequentially; use --jobs).")
-    parser.add_argument("--cores", type=_parse_cores,
-                        default=clusterscale.DEFAULT_CORES,
+    parser.add_argument("--cores", type=_parse_cores, default=None,
                         help="Core counts for the clusterscale sweep "
                              "(comma-separated, default 1,2,4,8).")
     parser.add_argument("--jobs", type=int, default=1,
                         help="Shard sweep cells over this many host "
-                             "processes (fig3/clusterscale/all only; "
+                             "processes (sharded artifacts only; "
                              f"this host has {default_jobs()} CPUs). "
                              "Output is identical for every value.")
     parser.add_argument("--out", type=str, default=None,
@@ -133,30 +93,29 @@ def main(argv: list[str] | None = None) -> int:
                              "instead of the text rendering.")
     args = parser.parse_args(argv)
 
-    if args.artifact not in _artifact_names():
-        parser.error(
-            f"unknown artifact {args.artifact!r}; available artifacts: "
-            + ", ".join(_artifact_names())
-        )
+    if args.list_:
+        print("registered artifacts:")
+        print(artifacts.describe())
+        return 0
+    if args.artifact is None:
+        parser.error("an artifact name is required (see --list)")
+
+    try:
+        spec = artifacts.get(args.artifact)
+    except KeyError as exc:
+        parser.error(exc.args[0])
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    if args.jobs > 1 and args.artifact not in _SHARDED:
+    if args.jobs > 1 and not spec.sharded:
         parser.error(
             f"--jobs applies to sharded sweeps only "
-            f"({', '.join(_SHARDED)}); artifact {args.artifact!r} "
-            f"runs a single measurement"
+            f"({', '.join(artifacts.sharded_names())}); artifact "
+            f"{args.artifact!r} runs a single measurement"
         )
 
-    if args.artifact == "report":
-        text = report.generate_report(n=args.n, full_fig3=args.full)
-        write_output(text, {"markdown": text}, args.out, args.json)
-        return 0
-    if args.artifact == "all":
-        results = [_RUNNERS[name](args) for name in _ALL]
-        text, payload = combine(results)
-        write_output(text, payload, args.out, args.json)
-        return 0
-    result = _RUNNERS[args.artifact](args)
+    request = ArtifactRequest(n=args.n, full=args.full,
+                              cores=args.cores, jobs=args.jobs)
+    result = spec.run(request)
     write_output(result.text, result.payload, args.out, args.json)
     return 0
 

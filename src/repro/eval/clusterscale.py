@@ -8,18 +8,30 @@ the vector kernels, trailing barrier) and reports the makespan of the
 run, bank-conflict stalls, and cluster power from the extended energy
 model.  The 1-core column reproduces the single-``Machine`` measurement
 exactly (same program, same memory image).
+
+The sweep is one :class:`~repro.api.Sweep` of every (kernel, variant)
+workload over one :class:`~repro.api.ClusterBackend` per core count;
+cross-cell derived values (speedup, efficiency) are computed by the
+merger, which is what keeps the ``--jobs N`` payload bit-identical to
+the sequential one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cluster import ClusterConfig, partition_kernel
-from ..energy import ClusterEnergyModel
-from ..kernels.common import MAIN_REGION
+from ..api import (
+    ArtifactRequest,
+    ArtifactResult,
+    ClusterBackend,
+    RunRecord,
+    Sweep,
+    Workload,
+    artifact,
+)
+from ..cluster import ClusterConfig
 from ..kernels.registry import KERNELS
 from ..sim import CoreConfig
-from .parallel import run_sharded
 
 DEFAULT_CORES = (1, 2, 4, 8)
 
@@ -66,48 +78,6 @@ class ClusterScaleData:
         raise KeyError(f"no row {name}/{variant}")
 
 
-def _measure_cell(cell: tuple) -> dict:
-    """One (kernel, variant, core-count) simulation — the shard worker.
-
-    Module-level and fed only picklable payloads so
-    :func:`~repro.eval.parallel.run_sharded` can dispatch it to worker
-    processes.  Returns primitives; cross-cell derived values (speedup,
-    efficiency) are computed by the merger, which is what keeps the
-    ``--jobs N`` payload bit-identical to the sequential one.
-    """
-    kernel_name, variant, n, n_cores, config, core_config, check = cell
-    kernel_def = KERNELS[kernel_name]
-    workload = partition_kernel(kernel_def, n, n_cores,
-                                variant=variant)
-    result = workload.run(config=config, core_config=core_config,
-                          check=check)
-    region = result.region(MAIN_REGION)
-    cycles = region.cycles
-    # DMA energy is priced on the kernels' *conceptual* traffic (input
-    # staging + output drain), exactly as Figure 2 prices the same
-    # instances — the engine's measured bytes cover only the transfers
-    # the cluster actually models (staged inputs), which would make the
-    # 1-core power column disagree with Fig. 2.
-    dma_bytes = sum(i.dma_bytes for i in workload.instances)
-    power = ClusterEnergyModel().report(
-        region.counters, cycles, n_cores,
-        n_banks=config.tcdm_banks,
-        tcdm_accesses=result.tcdm_accesses,
-        tcdm_conflict_cycles=result.tcdm_conflict_cycles,
-        dma_bytes=dma_bytes,
-        dma_transfers=result.counters.dma_transfers,
-        barriers=result.barrier_count,
-        dma_active=any(i.dma_active for i in workload.instances),
-    )
-    return {
-        "cycles": cycles,
-        "tcdm_conflict_cycles": result.tcdm_conflict_cycles,
-        "dma_bytes": result.dma_bytes,
-        "barrier_count": result.barrier_count,
-        "power_mw": power.power_mw,
-    }
-
-
 def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
              config: ClusterConfig | None = None,
              core_config: CoreConfig | None = None,
@@ -122,14 +92,18 @@ def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
     """
     cores = tuple(sorted(set(cores)))
     base_config = config or ClusterConfig()
-    cells = [
-        (kernel_def.name, variant, n, n_cores, base_config,
-         core_config, check)
+    workloads = [
+        Workload(kernel_def.name, variant, n=n)
         for kernel_def in KERNELS.values()
         for variant in ("baseline", "copift")
+    ]
+    backends = [
+        ClusterBackend(cores=n_cores, config=base_config,
+                       core_config=core_config)
         for n_cores in cores
     ]
-    measured = iter(run_sharded(_measure_cell, cells, jobs=jobs))
+    sweep = Sweep(workloads, backends=backends)
+    measured = iter(sweep.run(jobs=jobs, check=check))
 
     rows = []
     for kernel_def in KERNELS.values():
@@ -137,20 +111,21 @@ def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
             points = []
             base_cycles = None
             for n_cores in cores:
-                cell = next(measured)
-                cycles = cell["cycles"]
+                record: RunRecord = next(measured)
+                cycles = record.cycles
                 if base_cycles is None:
                     base_cycles = cycles
                 speedup = base_cycles / cycles
+                detail = record.cluster
                 points.append(ScalePoint(
                     cores=n_cores,
                     cycles=cycles,
                     speedup=speedup,
                     efficiency=speedup * cores[0] / n_cores,
-                    tcdm_conflict_cycles=cell["tcdm_conflict_cycles"],
-                    dma_bytes=cell["dma_bytes"],
-                    barrier_count=cell["barrier_count"],
-                    power_mw=cell["power_mw"],
+                    tcdm_conflict_cycles=detail.tcdm_conflict_cycles,
+                    dma_bytes=detail.dma_bytes,
+                    barrier_count=detail.barrier_count,
+                    power_mw=record.power_mw,
                 ))
             rows.append(ScaleRow(kernel_def.name, variant,
                                  tuple(points)))
@@ -194,3 +169,40 @@ def render(data: ClusterScaleData) -> str:
         f"(ideal {max_cores / base_cores:.2f}x)"
     )
     return "\n".join(lines)
+
+
+def clusterscale_payload(data: ClusterScaleData) -> dict:
+    return {
+        "n": data.n,
+        "cores": list(data.cores),
+        "rows": [
+            {
+                "kernel": row.name,
+                "variant": row.variant,
+                "points": [
+                    {
+                        "cores": p.cores,
+                        "cycles": p.cycles,
+                        "speedup": p.speedup,
+                        "efficiency": p.efficiency,
+                        "tcdm_conflict_cycles": p.tcdm_conflict_cycles,
+                        "dma_bytes": p.dma_bytes,
+                        "barrier_count": p.barrier_count,
+                        "power_mw": p.power_mw,
+                    }
+                    for p in row.points
+                ],
+            }
+            for row in data.rows
+        ],
+    }
+
+
+@artifact("clusterscale", sharded=True, order=40,
+          help="1/2/4/8-core cluster scaling of every kernel")
+def clusterscale_artifact(request: ArtifactRequest) -> ArtifactResult:
+    data = generate(n=request.effective_n(4096),
+                    cores=request.effective_cores(DEFAULT_CORES),
+                    jobs=request.jobs)
+    return ArtifactResult("clusterscale", render(data),
+                          clusterscale_payload(data))

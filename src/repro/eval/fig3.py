@@ -13,17 +13,24 @@ The paper sweeps the ``poly_lcg`` kernel over problem sizes
 The default sweep uses the paper's block sizes but scales problem sizes
 down 4x (Python cycle simulation is ~10^4 slower than QuestaSim on RTL
 farm hardware; the convergence behaviour is already fully visible).
-Pass ``full=True`` for the paper's exact grid.
+Pass ``full=True`` for the paper's exact grid.  The grid is one
+:class:`~repro.api.Sweep`, so ``jobs > 1`` shards (batched) cells over
+host processes with bit-identical output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..kernels.registry import KERNELS
+from ..api import (
+    ArtifactRequest,
+    ArtifactResult,
+    CoreBackend,
+    Sweep,
+    Workload,
+    artifact,
+)
 from ..sim import CoreConfig
-from .parallel import run_sharded
-from .runner import measure_instance
 
 #: The paper's sweep grid.
 PAPER_BLOCK_SIZES = (32, 48, 64, 96, 128, 192, 256)
@@ -68,18 +75,6 @@ class Fig3Data:
         return max(row, key=row.get)
 
 
-def _measure_cell(cell: tuple) -> float:
-    """One (problem, block) IPC measurement — the shard worker.
-
-    Module-level with a picklable payload so
-    :func:`~repro.eval.parallel.run_sharded` can run it in worker
-    processes; deterministic, so sharding cannot change the grid.
-    """
-    kernel_name, padded, block, config = cell
-    instance = KERNELS[kernel_name].build_copift(padded, block=block)
-    return measure_instance(instance, config=config, check=False).ipc
-
-
 def generate(block_sizes: tuple[int, ...] = DEFAULT_BLOCK_SIZES,
              problem_sizes: tuple[int, ...] = DEFAULT_PROBLEM_SIZES,
              kernel_name: str = "poly_lcg",
@@ -94,17 +89,19 @@ def generate(block_sizes: tuple[int, ...] = DEFAULT_BLOCK_SIZES,
     if full:
         block_sizes = PAPER_BLOCK_SIZES
         problem_sizes = PAPER_PROBLEM_SIZES
-    cells = [
-        (kernel_name, _round_to_multiple(n, block), block, config)
+    workloads = [
+        Workload(kernel_name, "copift",
+                 n=_round_to_multiple(n, block), block=block)
         for n in problem_sizes
         for block in block_sizes
     ]
-    measured = iter(run_sharded(_measure_cell, cells, jobs=jobs))
+    sweep = Sweep(workloads, backends=(CoreBackend(config=config),))
+    measured = iter(sweep.run(jobs=jobs))
     ipc: dict[int, dict[int, float]] = {}
     for n in problem_sizes:
         ipc[n] = {}
         for block in block_sizes:
-            ipc[n][block] = next(measured)
+            ipc[n][block] = next(measured).ipc
     return Fig3Data(tuple(block_sizes), tuple(problem_sizes), ipc)
 
 
@@ -128,3 +125,24 @@ def render(data: Fig3Data) -> str:
     for b in data.block_sizes:
         lines.append(f"  B={b:<4} -> N={data.converged_problem(b)}")
     return "\n".join(lines)
+
+
+def fig3_payload(data: Fig3Data) -> dict:
+    return {
+        "block_sizes": list(data.block_sizes),
+        "problem_sizes": list(data.problem_sizes),
+        "ipc": {str(n): {str(b): data.ipc[n][b]
+                         for b in data.block_sizes}
+                for n in data.problem_sizes},
+        "peak_block": {str(n): data.peak_block(n)
+                       for n in data.problem_sizes},
+        "converged_problem": {str(b): data.converged_problem(b)
+                              for b in data.block_sizes},
+    }
+
+
+@artifact("fig3", sharded=True, order=30,
+          help="Figure 3 poly_lcg IPC over the block/problem grid")
+def fig3_artifact(request: ArtifactRequest) -> ArtifactResult:
+    data = generate(full=request.full, jobs=request.jobs)
+    return ArtifactResult("fig3", render(data), fig3_payload(data))

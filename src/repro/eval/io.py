@@ -1,141 +1,26 @@
-"""Shared artifact output: text/JSON rendering and the ``--out`` writer.
+"""Compatibility shim: artifact output helpers, re-exported.
 
-Every ``python -m repro.eval`` artifact flows through one
-:class:`ArtifactResult` (rendered text plus a JSON-able payload), so
-``--out`` and ``--json`` behave identically for every artifact —
-including ``all``, which concatenates texts and merges payloads.
+The real definitions moved into the unified experiment API
+(:mod:`repro.api.artifacts` for :class:`ArtifactResult` /
+:func:`write_output` / :func:`combine`) and into the artifact modules
+themselves (each ``*_payload`` lives next to the data shape it
+serializes).  Importing them from ``repro.eval.io`` keeps working.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass
+from ..api.artifacts import ArtifactResult, combine, write_output
+from .clusterscale import clusterscale_payload
+from .fig2 import fig2_payload
+from .fig3 import fig3_payload
+from .table1 import table1_payload
 
-from .clusterscale import ClusterScaleData
-from .fig2 import Fig2Data
-from .fig3 import Fig3Data
-from .table1 import Table1Row
-
-
-@dataclass(frozen=True)
-class ArtifactResult:
-    """One regenerated artifact: human text + machine payload."""
-
-    name: str
-    text: str
-    payload: dict
-
-
-def table1_payload(rows: list[Table1Row]) -> dict:
-    def mix(model) -> dict:
-        return {
-            "n_int": model.base.n_int, "n_fp": model.base.n_fp,
-            "copift_n_int": model.copift.n_int,
-            "copift_n_fp": model.copift.n_fp,
-            "thread_imbalance": model.thread_imbalance,
-            "i_prime": model.i_prime,
-            "s_double_prime": model.s_double_prime,
-            "s_prime": model.s_prime,
-            "max_block": model.max_block,
-        }
-
-    return {"rows": [
-        {"kernel": row.name, "measured": mix(row.measured),
-         "paper": mix(row.paper)}
-        for row in rows
-    ]}
-
-
-def fig2_payload(data: Fig2Data) -> dict:
-    rows = []
-    for r in data.rows:
-        m = r.measurement
-        rows.append({
-            "kernel": r.name,
-            "baseline": {"ipc": m.baseline.ipc,
-                         "cycles": m.baseline.cycles,
-                         "power_mw": m.baseline.power_mw},
-            "copift": {"ipc": m.copift.ipc,
-                       "cycles": m.copift.cycles,
-                       "power_mw": m.copift.power_mw},
-            "speedup": m.speedup,
-            "ipc_gain": m.ipc_gain,
-            "power_increase": m.power_increase,
-            "energy_improvement": m.energy_improvement,
-            "expected_ipc": r.expected_ipc,
-            "expected_speedup": r.expected_speedup,
-            "paper": {"ipc": list(r.paper_ipc),
-                      "power_mw": list(r.paper_power_mw),
-                      "speedup": r.paper_speedup,
-                      "energy_improvement": r.paper_energy_improvement},
-        })
-    return {
-        "rows": rows,
-        "geomean_speedup": data.geomean_speedup,
-        "geomean_ipc_gain": data.geomean_ipc_gain,
-        "geomean_power_increase": data.geomean_power_increase,
-        "geomean_energy_improvement": data.geomean_energy_improvement,
-    }
-
-
-def fig3_payload(data: Fig3Data) -> dict:
-    return {
-        "block_sizes": list(data.block_sizes),
-        "problem_sizes": list(data.problem_sizes),
-        "ipc": {str(n): {str(b): data.ipc[n][b]
-                         for b in data.block_sizes}
-                for n in data.problem_sizes},
-        "peak_block": {str(n): data.peak_block(n)
-                       for n in data.problem_sizes},
-        "converged_problem": {str(b): data.converged_problem(b)
-                              for b in data.block_sizes},
-    }
-
-
-def clusterscale_payload(data: ClusterScaleData) -> dict:
-    return {
-        "n": data.n,
-        "cores": list(data.cores),
-        "rows": [
-            {
-                "kernel": row.name,
-                "variant": row.variant,
-                "points": [
-                    {
-                        "cores": p.cores,
-                        "cycles": p.cycles,
-                        "speedup": p.speedup,
-                        "efficiency": p.efficiency,
-                        "tcdm_conflict_cycles": p.tcdm_conflict_cycles,
-                        "dma_bytes": p.dma_bytes,
-                        "barrier_count": p.barrier_count,
-                        "power_mw": p.power_mw,
-                    }
-                    for p in row.points
-                ],
-            }
-            for row in data.rows
-        ],
-    }
-
-
-def combine(results: list[ArtifactResult]) -> tuple[str, dict]:
-    """Concatenate texts and merge payloads keyed by artifact name."""
-    text = "\n\n".join(r.text for r in results)
-    payload = {r.name: r.payload for r in results}
-    return text, payload
-
-
-def write_output(text: str, payload: dict, out: str | None,
-                 as_json: bool) -> None:
-    """Route an artifact to stdout or ``--out``, as text or JSON."""
-    content = json.dumps(payload, indent=2, sort_keys=True) \
-        if as_json else text
-    if out:
-        with open(out, "w") as handle:
-            handle.write(content)
-            if not content.endswith("\n"):
-                handle.write("\n")
-        print(f"wrote {out}")
-    else:
-        print(content)
+__all__ = [
+    "ArtifactResult",
+    "clusterscale_payload",
+    "combine",
+    "fig2_payload",
+    "fig3_payload",
+    "table1_payload",
+    "write_output",
+]

@@ -8,6 +8,7 @@ to EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from ..api import ArtifactRequest, ArtifactResult, artifact
 from . import fig2, fig3, table1
 
 
@@ -112,3 +113,11 @@ def generate_report(n: int = 2048, full_fig3: bool = False,
         "",
     ]
     return "\n".join(sections)
+
+
+@artifact("report", composite=True, order=60,
+          help="self-contained markdown report of every figure/table")
+def report_artifact(request: ArtifactRequest) -> ArtifactResult:
+    text = generate_report(n=request.effective_n(4096),
+                           full_fig3=request.full)
+    return ArtifactResult("report", text, {"markdown": text})

@@ -1,25 +1,28 @@
-"""Experiment runner: paired baseline/COPIFT measurements.
+"""Legacy measurement API: thin shims over :mod:`repro.api`.
 
-One :class:`KernelMeasurement` captures everything Figures 2a-2c need
-for one kernel: steady-state IPC of both variants, average power from
-the energy model, speedup and energy improvement.  Measurements use the
-``main`` region (setup excluded) at a problem size large enough for
-prologue/epilogue effects to be representative of steady state.
+Kept for backwards compatibility — the unified experiment API
+(:class:`repro.api.Workload` / backends / :class:`repro.api.RunRecord`)
+is the real measurement path; :func:`measure_instance` and
+:func:`measure_kernel` adapt it to the original
+:class:`VariantMeasurement` / :class:`KernelMeasurement` shapes that
+older callers (and the figure artifacts' paired-variant views) consume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.backend import record_from_instance
+from ..api.record import RunRecord
 from ..energy import EnergyModel, PowerReport
-from ..kernels.common import KernelInstance, MAIN_REGION
+from ..kernels.common import KernelInstance
 from ..kernels.registry import KernelDef
-from ..sim import CoreConfig, RunResult
+from ..sim import CoreConfig
 
 
 @dataclass(frozen=True)
 class VariantMeasurement:
-    """One variant's steady-state numbers."""
+    """One variant's steady-state numbers (view over a RunRecord)."""
 
     variant: str
     cycles: int
@@ -35,6 +38,17 @@ class VariantMeasurement:
     @property
     def energy_pj(self) -> float:
         return self.power.total_energy_pj
+
+    @classmethod
+    def from_record(cls, record: RunRecord) -> "VariantMeasurement":
+        return cls(
+            variant=record.variant,
+            cycles=record.cycles,
+            int_instructions=record.int_instructions,
+            fp_instructions=record.fp_instructions,
+            ipc=record.ipc,
+            power=record.power,
+        )
 
 
 @dataclass(frozen=True)
@@ -63,29 +77,38 @@ class KernelMeasurement:
     def energy_improvement(self) -> float:
         return self.baseline.energy_pj / self.copift.energy_pj
 
+    @classmethod
+    def from_records(cls, baseline: RunRecord,
+                     copift: RunRecord) -> "KernelMeasurement":
+        if baseline.kernel != copift.kernel:
+            raise ValueError(
+                f"mismatched record pair: baseline is "
+                f"{baseline.kernel!r}, copift is {copift.kernel!r}"
+            )
+        if (baseline.variant, copift.variant) != ("baseline",
+                                                  "copift"):
+            raise ValueError(
+                f"record pair passed out of order: got "
+                f"({baseline.variant!r}, {copift.variant!r}), "
+                f"expected ('baseline', 'copift')"
+            )
+        return cls(
+            name=baseline.kernel, n=baseline.n,
+            block=copift.block or 0,
+            baseline=VariantMeasurement.from_record(baseline),
+            copift=VariantMeasurement.from_record(copift),
+        )
+
 
 def measure_instance(instance: KernelInstance,
                      config: CoreConfig | None = None,
                      energy_model: EnergyModel | None = None,
                      check: bool = True) -> VariantMeasurement:
     """Run one kernel instance and reduce it to steady-state numbers."""
-    model = energy_model or EnergyModel()
-    result, _ = instance.run(config=config, check=check)
-    region = result.region(MAIN_REGION)
-    counters = region.counters
-    power = model.report(
-        counters, region.cycles,
-        dma_active=instance.dma_active,
-        dma_bytes=instance.dma_bytes,
-    )
-    return VariantMeasurement(
-        variant=instance.variant,
-        cycles=region.cycles,
-        int_instructions=counters.int_issued,
-        fp_instructions=counters.fp_issued,
-        ipc=region.ipc,
-        power=power,
-    )
+    record = record_from_instance(instance, config=config,
+                                  energy_model=energy_model,
+                                  check=check)
+    return VariantMeasurement.from_record(record)
 
 
 def measure_kernel(kernel_def: KernelDef, n: int = 4096,
@@ -95,18 +118,15 @@ def measure_kernel(kernel_def: KernelDef, n: int = 4096,
                    check: bool = True) -> KernelMeasurement:
     """Measure baseline + COPIFT variants of one kernel."""
     block = block or kernel_def.default_block
-    baseline = measure_instance(
+    baseline = record_from_instance(
         kernel_def.build_baseline(n), config=config,
         energy_model=energy_model, check=check,
     )
-    copift = measure_instance(
+    copift = record_from_instance(
         kernel_def.build_copift(n, block=block), config=config,
         energy_model=energy_model, check=check,
     )
-    return KernelMeasurement(
-        name=kernel_def.name, n=n, block=block,
-        baseline=baseline, copift=copift,
-    )
+    return KernelMeasurement.from_records(baseline, copift)
 
 
 def geomean(values: list[float]) -> float:

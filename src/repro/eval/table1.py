@@ -4,21 +4,36 @@ For each kernel we measure the dynamic instruction mix of the main
 region (normalized to the paper's 4-element loop iterations), derive
 the analytical columns (TI, I′, S″, S′ — Eqs. 1-3) and the maximum
 block size from the buffer plan, and print them next to the paper's
-values.
+values.  Measurements flow through the unified experiment API: one
+:class:`~repro.api.Sweep` of every kernel pair on the ``core`` backend.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
+from ..api import (
+    ArtifactRequest,
+    ArtifactResult,
+    CoreBackend,
+    RunRecord,
+    Sweep,
+    Workload,
+    artifact,
+)
 from ..copift.model import InstructionMix, KernelModel
 from ..kernels.registry import KERNELS, KernelDef
 from ..sim import CoreConfig
-from .runner import measure_kernel
 
 #: Scratchpad budget for COPIFT buffers, matching the scale implied by
 #: the paper's Max-Block column (341 blocks × 6 buffers × 8 B ≈ 16 KiB).
 L1_BUFFER_BUDGET = 16 * 1024
+
+#: Largest problem size the instruction-mix measurement needs; beyond
+#: this the normalized per-iteration counts are already converged, so
+#: the CLI clamps (with a warning) instead of burning simulation time.
+MAX_MEASURE_N = 2048
 
 #: Bytes of rotated buffer arena per block element for each kernel
 #: (from the kernels' column layouts; see each kernel module).
@@ -44,35 +59,49 @@ class Table1Row:
         return self.measured.name
 
 
-def measured_model(kernel_def: KernelDef, n: int = 2048,
-                   config: CoreConfig | None = None) -> KernelModel:
-    """Build a Table-I row from dynamic measurements of our kernels."""
-    result = measure_kernel(kernel_def, n=n, config=config, check=False)
+def model_from_records(kernel_def: KernelDef, baseline: RunRecord,
+                       copift: RunRecord, n: int) -> KernelModel:
+    """Derive the measured Table-I row from one kernel's run records."""
     unroll = 4
 
-    def mix(variant) -> InstructionMix:
+    def mix(record: RunRecord) -> InstructionMix:
         return InstructionMix(
-            round(variant.int_instructions * unroll / n),
-            round(variant.fp_instructions * unroll / n),
+            round(record.int_instructions * unroll / n),
+            round(record.fp_instructions * unroll / n),
         )
 
     per_element = ARENA_BYTES_PER_ELEMENT[kernel_def.name]
     max_block = (L1_BUFFER_BUDGET // per_element) & ~3
     return KernelModel(
         name=kernel_def.name,
-        base=mix(result.baseline),
-        copift=mix(result.copift),
+        base=mix(baseline),
+        copift=mix(copift),
         max_block=max_block,
     )
+
+
+def measured_model(kernel_def: KernelDef, n: int = 2048,
+                   config: CoreConfig | None = None) -> KernelModel:
+    """Build a Table-I row from dynamic measurements of one kernel."""
+    backend = CoreBackend(config=config)
+    baseline = backend.run(Workload(kernel_def.name, "baseline", n=n))
+    copift = backend.run(Workload(kernel_def.name, "copift", n=n))
+    return model_from_records(kernel_def, baseline, copift, n)
 
 
 def generate(n: int = 2048,
              config: CoreConfig | None = None) -> list[Table1Row]:
     """All Table-I rows, in the paper's order."""
+    workloads = [Workload(name, variant, n=n)
+                 for name in KERNELS
+                 for variant in ("baseline", "copift")]
+    sweep = Sweep(workloads, backends=(CoreBackend(config=config),))
+    records = iter(sweep.run())
     rows = []
     for kernel_def in KERNELS.values():
+        baseline, copift = next(records), next(records)
         rows.append(Table1Row(
-            measured=measured_model(kernel_def, n=n, config=config),
+            measured=model_from_records(kernel_def, baseline, copift, n),
             paper=kernel_def.paper_model(),
         ))
     return rows
@@ -106,3 +135,52 @@ def render(rows: list[Table1Row]) -> str:
             f"{pair(m.max_block, p.max_block):>13}"
         )
     return "\n".join(lines)
+
+
+def table1_payload(rows: list[Table1Row]) -> dict:
+    def mix(model) -> dict:
+        return {
+            "n_int": model.base.n_int, "n_fp": model.base.n_fp,
+            "copift_n_int": model.copift.n_int,
+            "copift_n_fp": model.copift.n_fp,
+            "thread_imbalance": model.thread_imbalance,
+            "i_prime": model.i_prime,
+            "s_double_prime": model.s_double_prime,
+            "s_prime": model.s_prime,
+            "max_block": model.max_block,
+        }
+
+    return {"rows": [
+        {"kernel": row.name, "measured": mix(row.measured),
+         "paper": mix(row.paper)}
+        for row in rows
+    ]}
+
+
+def clamp_n(n: int) -> int:
+    """Clamp an explicitly requested size to :data:`MAX_MEASURE_N`,
+    loudly.
+
+    The per-iteration instruction mix is converged well before
+    n = 2048; larger sizes only cost simulation time.  The clamp used
+    to be silent — now it warns on stderr and the payload carries the
+    effective size.  (Default runs use ``MAX_MEASURE_N`` directly and
+    never warn.)
+    """
+    if n > MAX_MEASURE_N:
+        print(
+            f"table1: clamping n={n} to {MAX_MEASURE_N} (instruction "
+            f"mixes are converged; larger n only adds runtime)",
+            file=sys.stderr,
+        )
+        return MAX_MEASURE_N
+    return n
+
+
+@artifact("table1", order=10,
+          help="Table I kernel characteristics (mixes, TI, I', S')")
+def table1_artifact(request: ArtifactRequest) -> ArtifactResult:
+    n = clamp_n(request.n) if request.n is not None else MAX_MEASURE_N
+    rows = generate(n=n)
+    payload = {"n": n, **table1_payload(rows)}
+    return ArtifactResult("table1", render(rows), payload)

@@ -5,9 +5,14 @@ import json
 
 import pytest
 
-from repro.eval import clusterscale, fig3
+from repro.api import artifacts
+from repro.eval import clusterscale, fig3, table1
 from repro.eval.__main__ import main
-from repro.eval.io import clusterscale_payload, write_output
+from repro.eval.io import (
+    clusterscale_payload,
+    table1_payload,
+    write_output,
+)
 from repro.eval.parallel import (
     default_jobs,
     run_sharded,
@@ -130,6 +135,122 @@ class TestArgumentValidation:
         out = tmp_path / "t1.txt"
         assert main(["table1", "--n", "256", "--jobs", "1",
                      "--out", str(out)]) == 0
+
+
+class TestArtifactRegistry:
+    """The CLI is a generic dispatcher over the artifact registry."""
+
+    def test_list_enumerates_registry_with_help(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for spec in artifacts.specs():
+            assert spec.name in out
+            assert spec.help in out
+
+    def test_list_shows_aliases(self, capsys):
+        main(["--list"])
+        out = capsys.readouterr().out
+        assert "fig2a" in out
+
+    def test_missing_artifact_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "artifact name is required" in capsys.readouterr().err
+
+    def test_report_order_is_explicit(self):
+        assert artifacts.names() == [
+            "table1", "fig2", "fig3", "clusterscale", "all", "report",
+        ]
+        assert artifacts.bundle_names() == [
+            "table1", "fig2", "fig3", "clusterscale",
+        ]
+        assert artifacts.sharded_names() == [
+            "fig3", "clusterscale", "all",
+        ]
+
+    def test_alias_resolves_to_canonical(self):
+        assert artifacts.get("fig2a").name == "fig2"
+
+    def test_all_combines_bundle_in_report_order(self, monkeypatch,
+                                                 tmp_path):
+        from repro.api.artifacts import ArtifactResult, ArtifactSpec
+
+        def fake(name, order):
+            return ArtifactSpec(
+                name=name, order=order,
+                func=lambda req, name=name: ArtifactResult(
+                    name, f"text-{name}", {"k": name}),
+            )
+
+        registry = {"b": fake("b", 2), "a": fake("a", 1),
+                    "all": artifacts.REGISTRY["all"]}
+        monkeypatch.setattr(artifacts, "REGISTRY", registry)
+        out = tmp_path / "all.json"
+        assert main(["all", "--json", "--out", str(out)]) == 0
+        assert json.loads(out.read_text()) \
+            == {"a": {"k": "a"}, "b": {"k": "b"}}
+        txt = tmp_path / "all.txt"
+        assert main(["all", "--out", str(txt)]) == 0
+        assert txt.read_text() == "text-a\n\ntext-b\n"
+
+
+class TestPayloadIdentity:
+    """CLI output must match the module-level generate/render path
+    (whose values are locked by tests/test_golden.py)."""
+
+    def test_table1_cli_matches_module(self, tmp_path):
+        out = tmp_path / "t1.json"
+        assert main(["table1", "--n", "256", "--json",
+                     "--out", str(out)]) == 0
+        expected = {"n": 256, **table1_payload(table1.generate(n=256))}
+        assert json.loads(out.read_text()) \
+            == json.loads(json.dumps(expected))
+
+    def test_clusterscale_cli_matches_module(self, tmp_path):
+        out = tmp_path / "cs.json"
+        assert main(["clusterscale", "--n", "512", "--cores", "1,2",
+                     "--json", "--out", str(out)]) == 0
+        expected = clusterscale_payload(
+            clusterscale.generate(n=512, cores=(1, 2)))
+        assert json.loads(out.read_text()) \
+            == json.loads(json.dumps(expected))
+
+    def test_fig2_alias_routes_to_fig2(self, tmp_path):
+        out = tmp_path / "f2.txt"
+        assert main(["fig2a", "--n", "256", "--out", str(out)]) == 0
+        assert "Figure 2a" in out.read_text()
+
+
+class TestTable1Clamp:
+    """The n-clamp warns on stderr and the payload carries the
+    effective size (it used to clamp silently)."""
+
+    def test_clamp_warns_and_surfaces_n(self, monkeypatch, tmp_path,
+                                        capsys):
+        monkeypatch.setattr(table1, "MAX_MEASURE_N", 256)
+        out = tmp_path / "t1.json"
+        assert main(["table1", "--n", "512", "--json",
+                     "--out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "clamping n=512 to 256" in err
+        assert json.loads(out.read_text())["n"] == 256
+
+    def test_no_warning_below_threshold(self, tmp_path, capsys):
+        out = tmp_path / "t1.json"
+        assert main(["table1", "--n", "256", "--json",
+                     "--out", str(out)]) == 0
+        assert "clamping" not in capsys.readouterr().err
+        assert json.loads(out.read_text())["n"] == 256
+
+    def test_default_run_never_warns(self, monkeypatch, tmp_path,
+                                     capsys):
+        # With no --n at all, table1 measures at its own default and
+        # must not warn about a size the user never chose.
+        monkeypatch.setattr(table1, "MAX_MEASURE_N", 256)
+        out = tmp_path / "t1.json"
+        assert main(["table1", "--json", "--out", str(out)]) == 0
+        assert "clamping" not in capsys.readouterr().err
+        assert json.loads(out.read_text())["n"] == 256
 
 
 def _square(x):

@@ -22,6 +22,23 @@ def test_quickstart():
     out = run_example("quickstart.py")
     assert "speedup" in out
     assert "energy improvement" in out
+    assert "RunRecord.to_json() schema v1" in out
+
+
+def test_sweep_backends():
+    out = run_example("sweep_backends.py")
+    assert "12 cells" in out
+    assert "cluster:4" in out
+    assert "4-core speedup" in out
+
+
+def test_every_example_has_a_test():
+    """CI smoke coverage: no example script may go untested."""
+    tested = {"quickstart.py", "softmax_llm.py", "montecarlo_pi.py",
+              "custom_kernel_copift.py", "pipeline_timeline.py",
+              "sweep_backends.py"}
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == tested
 
 
 def test_softmax_llm():
