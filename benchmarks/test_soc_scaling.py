@@ -1,0 +1,106 @@
+"""SoC-scaling regression benchmarks.
+
+Asserts the headline property of the SoC layer: aggregate throughput
+keeps growing past a single cluster even for the DMA-bound vector
+kernels.  At 4x4 the four clusters demand twice the shared L2 link's
+bandwidth, so those kernels *must* still clear >=2x over 1x4 (the link
+serves two clusters' worth of beats per cycle) while the compute-bound
+Monte Carlo kernels approach the ideal 4x.
+
+Like ``test_sim_throughput.py`` the measured cells are written into
+``BENCH_sim.json`` at the repo root (merged under a ``soc_scaling``
+key, preserving the throughput section), so every PR leaves a scaling
+trajectory next to the simulator-speed one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.kernels.common import MAIN_REGION
+from repro.kernels.registry import kernel
+from repro.soc import partition_soc_kernel
+
+#: Problem size for the scaling measurements (total, split over all
+#: cores of the SoC).
+SCALE_N = 4096
+
+#: DMA-bandwidth-bound kernels (inputs staged from L2 through the
+#: shared link) and compute-bound ones.
+VECTOR_KERNELS = ("expf", "logf")
+MC_KERNELS = ("pi_lcg", "poly_xoshiro128p")
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(_REPO_ROOT, "BENCH_sim.json")
+
+
+def _cycles(name: str, variant: str, clusters: int, cores: int) -> int:
+    workload = partition_soc_kernel(kernel(name), SCALE_N, clusters,
+                                    cores, variant=variant)
+    return workload.run(check=False).region(MAIN_REGION).cycles
+
+
+def _speedup(name: str, variant: str) -> float:
+    """Aggregate-throughput ratio of 4x4 over 1x4 (same total n, so
+    the cycle ratio IS the throughput ratio)."""
+    return _cycles(name, variant, 1, 4) / _cycles(name, variant, 4, 4)
+
+
+@pytest.fixture(scope="module")
+def bench() -> dict:
+    cells = {}
+    for name in (*VECTOR_KERNELS, *MC_KERNELS):
+        for variant in ("baseline", "copift"):
+            one = _cycles(name, variant, 1, 4)
+            four = _cycles(name, variant, 4, 4)
+            cells[f"{name}/{variant}"] = {
+                "cycles_1x4": one,
+                "cycles_4x4": four,
+                "speedup_4x4": round(one / four, 3),
+            }
+    payload = {"n": SCALE_N, "cells": cells}
+    merged = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as handle:
+            merged = json.load(handle)
+    merged["soc_scaling"] = payload
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(merged, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+@pytest.mark.parametrize("name", VECTOR_KERNELS)
+@pytest.mark.parametrize("variant", ("baseline", "copift"))
+def test_bandwidth_bound_4x4_speedup(bench, name, variant):
+    """DMA-bound vector kernels: >=2x aggregate throughput at 4x4
+    (the shared link serves 2 clusters' worth of beats/cycle)."""
+    speedup = bench["cells"][f"{name}/{variant}"]["speedup_4x4"]
+    assert speedup >= 2.0, (name, variant, speedup)
+
+
+@pytest.mark.parametrize("name", MC_KERNELS)
+def test_compute_bound_4x4_speedup(bench, name):
+    """Compute-bound kernels barely notice the link: >=3x at 4x4."""
+    for variant in ("baseline", "copift"):
+        speedup = bench["cells"][f"{name}/{variant}"]["speedup_4x4"]
+        assert speedup >= 3.0, (name, variant, speedup)
+
+
+def test_scaling_is_monotone_in_clusters():
+    results = {
+        clusters: _cycles("expf", "copift", clusters, 4)
+        for clusters in (1, 2, 4)
+    }
+    assert results[1] > results[2] > results[4]
+
+
+def test_cells_written_to_bench_file(bench):
+    with open(BENCH_PATH) as handle:
+        on_disk = json.load(handle)
+    assert on_disk["soc_scaling"]["cells"] == bench["cells"]
+    # The simulator-throughput section survives the merge.
+    assert "total" in on_disk or "kernels" in on_disk

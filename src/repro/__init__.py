@@ -11,6 +11,8 @@ Package map:
 * :mod:`repro.isa`     -- registers, instruction set, assembler DSL.
 * :mod:`repro.sim`     -- functional + cycle-level core model.
 * :mod:`repro.cluster` -- N-core cluster: banked TCDM, DMA, barriers.
+* :mod:`repro.soc`     -- C-cluster SoC: shared L2, beat-arbitrated
+  interconnect, SoC partitioning.
 * :mod:`repro.energy`  -- activity-based power/energy model.
 * :mod:`repro.copift`  -- the seven-step COPIFT methodology + Eqs. 1-3.
 * :mod:`repro.kernels` -- the six evaluated kernels, baseline + COPIFT.
@@ -31,6 +33,7 @@ from .api import (
     ClusterBackend,
     CoreBackend,
     RunRecord,
+    SocBackend,
     Sweep,
     Workload,
     parse_backend,
@@ -38,8 +41,9 @@ from .api import (
 from .eval import measure_instance, measure_kernel
 from .kernels import KERNELS, kernel
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["KERNELS", "ClusterBackend", "CoreBackend", "RunRecord",
-           "Sweep", "Workload", "kernel", "measure_instance",
-           "measure_kernel", "parse_backend", "__version__"]
+           "SocBackend", "Sweep", "Workload", "kernel",
+           "measure_instance", "measure_kernel", "parse_backend",
+           "__version__"]

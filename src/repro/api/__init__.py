@@ -12,9 +12,10 @@ Layers:
 
 * :class:`Workload` — frozen spec (kernel, variant, n, block, seed)
   that builds its ``KernelInstance`` lazily.
-* :class:`Backend` — where it runs: :class:`CoreBackend` (bare core)
-  or :class:`ClusterBackend` (N cores); named by spec strings
-  (``"core"``, ``"cluster:4"``) via :func:`parse_backend`.
+* :class:`Backend` — where it runs: :class:`CoreBackend` (bare core),
+  :class:`ClusterBackend` (N cores) or :class:`SocBackend` (C clusters
+  x M cores); named by spec strings (``"core"``, ``"cluster:4"``,
+  ``"soc:2x4"``) via :func:`parse_backend`.
 * :class:`RunRecord` — the unified result (cycles, counters, IPC,
   power/energy, cluster detail) with a versioned ``to_json`` schema.
 * :class:`Sweep` — declarative workloads x backends cross-product;
@@ -29,6 +30,7 @@ from .artifacts import (
     ArtifactRequest,
     ArtifactResult,
     ArtifactSpec,
+    ExtraFlag,
     artifact,
     combine,
     write_output,
@@ -37,10 +39,12 @@ from .backend import (
     Backend,
     ClusterBackend,
     CoreBackend,
+    SocBackend,
+    backend_spec_forms,
     parse_backend,
     record_from_instance,
 )
-from .record import SCHEMA_VERSION, ClusterDetail, RunRecord
+from .record import SCHEMA_VERSION, ClusterDetail, RunRecord, SocDetail
 from .sweep import Sweep
 from .workload import VARIANTS, Workload, pair
 
@@ -52,13 +56,17 @@ __all__ = [
     "ClusterBackend",
     "ClusterDetail",
     "CoreBackend",
+    "ExtraFlag",
     "REGISTRY",
     "RunRecord",
     "SCHEMA_VERSION",
+    "SocBackend",
+    "SocDetail",
     "Sweep",
     "VARIANTS",
     "Workload",
     "artifact",
+    "backend_spec_forms",
     "combine",
     "pair",
     "parse_backend",

@@ -20,8 +20,13 @@ CLI surgery.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: CLI flags every artifact shares; per-artifact extra flags must not
+#: collide with these (or with each other).
+SHARED_FLAGS = ("--list", "--n", "--full", "--cores", "--jobs",
+                "--out", "--json")
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,46 @@ class ArtifactResult:
 
 
 @dataclass(frozen=True)
+class ExtraFlag:
+    """One artifact-specific CLI flag (beyond the shared set).
+
+    The dispatcher adds every registered artifact's extra flags to its
+    parser, rejects a flag given to an artifact that did not register
+    it, and delivers parsed values through ``ArtifactRequest.extras``.
+
+    Attributes:
+        name: Flag spelling, e.g. ``"--clusters"``.
+        help: argparse help text.
+        parse: Value parser (argparse ``type=``); receives the raw
+            string, may raise ``argparse.ArgumentTypeError``.
+        default: Value when the flag is absent.
+        metavar: Placeholder shown in ``--help``.
+    """
+
+    name: str
+    help: str = ""
+    parse: Callable[[str], Any] = str
+    default: Any = None
+    metavar: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name.startswith("--"):
+            raise ValueError(
+                f"extra flag name must start with '--', got "
+                f"{self.name!r}"
+            )
+        if self.name in SHARED_FLAGS:
+            raise ValueError(
+                f"extra flag {self.name} collides with a shared "
+                f"eval flag"
+            )
+
+    @property
+    def dest(self) -> str:
+        return self.name[2:].replace("-", "_")
+
+
+@dataclass(frozen=True)
 class ArtifactRequest:
     """Normalized CLI/config options an artifact runs with.
 
@@ -41,12 +86,15 @@ class ArtifactRequest:
     chose them — each artifact resolves its own default via
     :meth:`effective_n` / :meth:`effective_cores`, and can warn about
     out-of-range values only when the user actually asked for them.
+    ``extras`` holds values of the artifact's own registered
+    :class:`ExtraFlag`\\ s, keyed by flag dest.
     """
 
     n: int | None = None
     full: bool = False
     cores: tuple[int, ...] | None = None
     jobs: int = 1
+    extras: dict = field(default_factory=dict)
 
     def effective_n(self, default: int) -> int:
         """The explicit problem size, or the artifact's *default*."""
@@ -56,6 +104,11 @@ class ArtifactRequest:
                         ) -> tuple[int, ...]:
         """The explicit core counts, or the artifact's *default*."""
         return self.cores if self.cores is not None else default
+
+    def extra(self, dest: str, default: Any = None) -> Any:
+        """An extra-flag value (or *default* when absent/None)."""
+        value = self.extras.get(dest)
+        return value if value is not None else default
 
 
 @dataclass(frozen=True)
@@ -74,6 +127,8 @@ class ArtifactSpec:
     #: Listing/report position.  Lower sorts first; ties break on
     #: registration order.  Independent of module import order.
     order: int = 100
+    #: Artifact-specific CLI flags (beyond the shared set).
+    flags: tuple[ExtraFlag, ...] = ()
 
     def run(self, request: ArtifactRequest) -> ArtifactResult:
         return self.func(request)
@@ -92,14 +147,27 @@ def specs() -> list[ArtifactSpec]:
 
 def artifact(name: str, help: str = "", sharded: bool = False,
              aliases: tuple[str, ...] = (),
-             composite: bool = False, order: int = 100) -> Callable:
+             composite: bool = False, order: int = 100,
+             flags: tuple[ExtraFlag, ...] = ()) -> Callable:
     """Register the decorated function as the artifact *name*."""
     def register(func: Callable) -> Callable:
         if name in REGISTRY or name in _ALIASES:
             raise ValueError(f"artifact {name!r} already registered")
+        # Key on dest, not name: '--foo-bar' and '--foo_bar' are
+        # distinct names but collide on the argparse attribute the
+        # dispatcher routes values by.
+        taken = {f.dest: s.name for s in REGISTRY.values()
+                 for f in s.flags}
+        for flag in flags:
+            if flag.dest in taken:
+                raise ValueError(
+                    f"extra flag {flag.name} of artifact {name!r} is "
+                    f"already registered by {taken[flag.dest]!r}"
+                )
         spec = ArtifactSpec(name=name, func=func, help=help,
                             sharded=sharded, aliases=tuple(aliases),
-                            composite=composite, order=order)
+                            composite=composite, order=order,
+                            flags=tuple(flags))
         REGISTRY[name] = spec
         for alias in spec.aliases:
             if alias in REGISTRY or alias in _ALIASES:
@@ -138,6 +206,11 @@ def sharded_names() -> list[str]:
     return [spec.name for spec in specs() if spec.sharded]
 
 
+def extra_flags() -> list[tuple[ExtraFlag, "ArtifactSpec"]]:
+    """Every registered extra flag with its owning artifact."""
+    return [(flag, spec) for spec in specs() for flag in spec.flags]
+
+
 def bundle_names() -> list[str]:
     """Artifacts included in the ``all`` composite, in report order."""
     return [spec.name for spec in specs() if not spec.composite]
@@ -152,7 +225,9 @@ def describe() -> str:
     for spec in specs():
         alias = f" (also: {', '.join(spec.aliases)})" if spec.aliases \
             else ""
-        lines.append(f"  {spec.name:<{width}}  {spec.help}{alias}")
+        flags = " [" + " ".join(f.name for f in spec.flags) + "]" \
+            if spec.flags else ""
+        lines.append(f"  {spec.name:<{width}}  {spec.help}{alias}{flags}")
     return "\n".join(lines)
 
 

@@ -1,31 +1,38 @@
 """Execution backends: where a workload runs.
 
 A backend turns a :class:`~repro.api.workload.Workload` into a
-:class:`~repro.api.record.RunRecord`.  Two implementations exist:
+:class:`~repro.api.record.RunRecord`.  Three implementations exist:
 
 * :class:`CoreBackend` — one bare Snitch-like ``Machine`` (the paper's
   single-core measurements, Figures 2-3).
 * :class:`ClusterBackend` — an N-core cluster via
   :func:`repro.cluster.partition_kernel` (banked TCDM, DMA staging,
   trailing barrier; the ``clusterscale`` artifact).
+* :class:`SocBackend` — a C-cluster x M-core SoC via
+  :func:`repro.soc.partition_soc_kernel` (shared L2 behind a
+  beat-arbitrated interconnect; the ``socscale`` artifact).
 
-Backends are named by **spec strings** — ``"core"``, ``"cluster:4"`` —
-so CLIs, configs and sweep definitions can all select them uniformly
-through :func:`parse_backend`.  Both implementations are frozen,
-picklable dataclasses, so sweep cells can carry them into worker
-processes.
+Backends are named by **spec strings** — ``"core"``, ``"cluster:4"``,
+``"soc:2x4"`` — so CLIs, configs and sweep definitions can all select
+them uniformly through :func:`parse_backend`; the accepted spec forms
+are enumerated by :func:`backend_spec_forms`, which is derived from
+the same parser table :func:`parse_backend` dispatches on (so error
+messages can never fall out of sync with what actually parses).  All
+implementations are frozen, picklable dataclasses, so sweep cells can
+carry them into worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 from ..cluster import ClusterConfig, partition_kernel
-from ..energy import ClusterEnergyModel, EnergyModel
+from ..energy import ClusterEnergyModel, EnergyModel, SocEnergyModel
 from ..kernels.common import MAIN_REGION, KernelInstance
 from ..sim import CoreConfig
-from .record import ClusterDetail, RunRecord
+from ..soc import SocConfig, partition_soc_kernel, soc_config_for
+from .record import ClusterDetail, RunRecord, SocDetail
 from .workload import Workload
 
 
@@ -178,40 +185,202 @@ class ClusterBackend:
         )
 
 
+@dataclass(frozen=True)
+class SocBackend:
+    """A C-cluster x M-core SoC sharing one L2 over the interconnect."""
+
+    # Defaults mirror SocConfig/ClusterConfig (2 clusters of 8 cores),
+    # so SocBackend() and parse_backend("soc") build the same machine.
+    clusters: int = 2
+    cores: int = 8
+    config: SocConfig | None = None
+    core_config: CoreConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise ValueError(
+                f"clusters must be >= 1, got {self.clusters}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+
+    @property
+    def spec(self) -> str:
+        return f"soc:{self.clusters}x{self.cores}"
+
+    def run(self, workload: Workload, check: bool = False) -> RunRecord:
+        if workload.seed is not None:
+            raise ValueError(
+                "SoC backends derive per-core seeds from the "
+                "partitioner; build the workload with seed=None"
+            )
+        parted = partition_soc_kernel(
+            workload.kernel_def, workload.n, self.clusters, self.cores,
+            variant=workload.variant, block=workload.block,
+        )
+        config = soc_config_for(parted, base=self.config)
+        result = parted.run(config=config,
+                            core_config=self.core_config, check=check)
+        region = result.region(MAIN_REGION)
+        cycles = region.cycles
+        # Per-cluster activity priced by the cluster model over the SoC
+        # makespan (every cluster is powered for the whole region); DMA
+        # energy uses the kernels' conceptual traffic, exactly as the
+        # cluster backend prices it (see ClusterBackend.run).
+        model = SocEnergyModel()
+        dma_active = any(i.dma_active for i in parted.instances)
+        cluster_reports = []
+        for cluster_result, cluster_workload in zip(
+                result.cluster_results, parted.cluster_workloads):
+            cregion = cluster_result.region(MAIN_REGION)
+            cluster_reports.append(model.cluster_model.report(
+                cregion.counters, cycles, self.cores,
+                n_banks=config.cluster.tcdm_banks,
+                tcdm_accesses=cluster_result.tcdm_accesses,
+                tcdm_conflict_cycles=cluster_result
+                .tcdm_conflict_cycles,
+                dma_bytes=sum(i.dma_bytes
+                              for i in cluster_workload.instances),
+                dma_transfers=cregion.counters.dma_transfers,
+                barriers=cluster_result.barrier_count,
+                dma_active=dma_active,
+            ))
+        power = model.report(
+            cluster_reports, cycles,
+            link_beats=sum(result.link_beats),
+            link_stall_cycles=sum(result.link_stall_cycles),
+            l2_bytes=result.l2_bytes_read + result.l2_bytes_written,
+        )
+        return RunRecord(
+            kernel=workload.kernel,
+            variant=workload.variant,
+            n=workload.n,
+            block=parted.block,
+            seed=None,
+            backend=self.spec,
+            cycles=cycles,
+            total_cycles=result.cycles,
+            int_instructions=region.counters.int_issued,
+            fp_instructions=region.counters.fp_issued,
+            ipc=region.ipc,
+            counters=dict(vars(region.counters)),
+            power=power,
+            soc=SocDetail(
+                clusters=self.clusters,
+                cores_per_cluster=self.cores,
+                link_beats=tuple(result.link_beats),
+                link_stall_cycles=tuple(result.link_stall_cycles),
+                l2_bytes_read=result.l2_bytes_read,
+                l2_bytes_written=result.l2_bytes_written,
+                cluster_cycles=tuple(result.cluster_cycles),
+                cluster_dma_stall_cycles=tuple(
+                    result.cluster_dma_stall_cycles),
+                barrier_count=result.barrier_count,
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# spec-string parsing
+# ----------------------------------------------------------------------
+def _parse_core(text: str, spec: str, core_config, cluster_config
+                ) -> Backend | None:
+    if text != "core":
+        return None
+    return CoreBackend(config=core_config)
+
+
+def _parse_cluster(text: str, spec: str, core_config, cluster_config
+                   ) -> Backend | None:
+    if text == "cluster":
+        cores = (cluster_config or ClusterConfig()).n_cores
+    elif text.startswith("cluster:"):
+        count = text.split(":", 1)[1]
+        try:
+            cores = int(count)
+        except ValueError:
+            raise ValueError(
+                f"bad core count {count!r} in backend spec "
+                f"{spec!r}; expected 'cluster:N' with integer N"
+            ) from None
+        if cores < 1:
+            raise ValueError(
+                f"core count must be >= 1 in backend spec {spec!r}"
+            )
+    else:
+        return None
+    return ClusterBackend(cores=cores, config=cluster_config,
+                          core_config=core_config)
+
+
+def _parse_soc(text: str, spec: str, core_config, cluster_config
+               ) -> Backend | None:
+    # A caller-supplied cluster config rides inside the SoC config, so
+    # every backend form honours the same optional-config contract.
+    base = SocConfig(cluster=cluster_config) \
+        if cluster_config is not None else None
+    if text == "soc":
+        config = base or SocConfig()
+        return SocBackend(clusters=config.n_clusters,
+                          cores=config.cluster.n_cores,
+                          config=base, core_config=core_config)
+    if not text.startswith("soc:"):
+        return None
+    shape = text.split(":", 1)[1]
+    parts = shape.split("x")
+    if len(parts) != 2:
+        raise ValueError(
+            f"bad SoC shape {shape!r} in backend spec {spec!r}; "
+            f"expected 'soc:CxM' (clusters x cores, e.g. 'soc:2x4')"
+        )
+    try:
+        clusters, cores = (int(p) for p in parts)
+    except ValueError:
+        raise ValueError(
+            f"bad SoC shape {shape!r} in backend spec {spec!r}; "
+            f"expected 'soc:CxM' with integer C and M"
+        ) from None
+    if clusters < 1 or cores < 1:
+        raise ValueError(
+            f"SoC shape must be >= 1x1 in backend spec {spec!r}"
+        )
+    return SocBackend(clusters=clusters, cores=cores, config=base,
+                      core_config=core_config)
+
+
+#: Spec-form parser table: display form -> parser.  parse_backend tries
+#: each parser in order; backend_spec_forms() lists the keys, so the
+#: unknown-spec error enumerates exactly the forms this table accepts.
+_SPEC_PARSERS: dict[str, Callable] = {
+    "core": _parse_core,
+    "cluster[:N]": _parse_cluster,
+    "soc:CxM": _parse_soc,
+}
+
+
+def backend_spec_forms() -> tuple[str, ...]:
+    """Every accepted backend spec form, as shown in error messages."""
+    return tuple(_SPEC_PARSERS)
+
+
 def parse_backend(spec: str, core_config: CoreConfig | None = None,
                   cluster_config: ClusterConfig | None = None) -> Backend:
     """Resolve a backend spec string to a backend instance.
 
-    Accepted forms: ``"core"`` (bare core), ``"cluster"`` (cluster at
-    its default size) and ``"cluster:N"`` (N-core cluster, N >= 1).
-    Optional configs are attached to whichever backend is built.
+    Accepted forms (see :func:`backend_spec_forms`): ``"core"`` (bare
+    core), ``"cluster"`` / ``"cluster:N"`` (N-core cluster) and
+    ``"soc"`` / ``"soc:CxM"`` (C clusters of M cores).  Optional
+    configs are attached to whichever backend is built.
     """
     if not isinstance(spec, str):
         raise ValueError(
             f"backend spec must be a string, got {type(spec).__name__}"
         )
     text = spec.strip()
-    if text == "core":
-        return CoreBackend(config=core_config)
-    if text == "cluster" or text.startswith("cluster:"):
-        if text == "cluster":
-            cores = (cluster_config or ClusterConfig()).n_cores
-        else:
-            count = text.split(":", 1)[1]
-            try:
-                cores = int(count)
-            except ValueError:
-                raise ValueError(
-                    f"bad core count {count!r} in backend spec "
-                    f"{spec!r}; expected 'cluster:N' with integer N"
-                ) from None
-            if cores < 1:
-                raise ValueError(
-                    f"core count must be >= 1 in backend spec {spec!r}"
-                )
-        return ClusterBackend(cores=cores, config=cluster_config,
-                              core_config=core_config)
+    for parser in _SPEC_PARSERS.values():
+        backend = parser(text, spec, core_config, cluster_config)
+        if backend is not None:
+            return backend
     raise ValueError(
-        f"unknown backend spec {spec!r}; expected 'core', 'cluster' "
-        f"or 'cluster:N'"
+        f"unknown backend spec {spec!r}; expected one of: "
+        + ", ".join(repr(form) for form in backend_spec_forms())
     )

@@ -20,7 +20,10 @@ from ..energy import PowerReport
 
 #: Version of the ``RunRecord.to_json`` schema.  Bump on any change to
 #: field names or semantics.
-SCHEMA_VERSION = 1
+#:
+#: v1: core + cluster records.
+#: v2: adds the ``soc_detail`` block (multi-cluster SoC runs).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,64 @@ class ClusterDetail:
 
 
 @dataclass(frozen=True)
+class SocDetail:
+    """Shared-resource measurements of a multi-cluster SoC run.
+
+    Attributes:
+        clusters: Number of clusters in the SoC.
+        cores_per_cluster: Cores in each cluster.
+        link_beats: Per-cluster DMA beats granted over the L2 link.
+        link_stall_cycles: Per-cluster beat-arbitration stall cycles
+            (contention on the shared link).
+        l2_bytes_read: Bytes the DMA channels read from the L2.
+        l2_bytes_written: Bytes written to the L2.
+        cluster_cycles: Per-cluster elapsed cycles, in cluster order.
+        cluster_dma_stall_cycles: Per-cluster ``dma.wait`` fence
+            stalls — where link contention reaches the cores.
+        barrier_count: Barrier episodes across every cluster.
+    """
+
+    clusters: int
+    cores_per_cluster: int
+    link_beats: tuple[int, ...]
+    link_stall_cycles: tuple[int, ...]
+    l2_bytes_read: int
+    l2_bytes_written: int
+    cluster_cycles: tuple[int, ...]
+    cluster_dma_stall_cycles: tuple[int, ...]
+    barrier_count: int
+
+    def to_json(self) -> dict:
+        return {
+            "clusters": self.clusters,
+            "cores_per_cluster": self.cores_per_cluster,
+            "link_beats": list(self.link_beats),
+            "link_stall_cycles": list(self.link_stall_cycles),
+            "l2_bytes_read": self.l2_bytes_read,
+            "l2_bytes_written": self.l2_bytes_written,
+            "cluster_cycles": list(self.cluster_cycles),
+            "cluster_dma_stall_cycles":
+                list(self.cluster_dma_stall_cycles),
+            "barrier_count": self.barrier_count,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SocDetail":
+        return cls(
+            clusters=data["clusters"],
+            cores_per_cluster=data["cores_per_cluster"],
+            link_beats=tuple(data["link_beats"]),
+            link_stall_cycles=tuple(data["link_stall_cycles"]),
+            l2_bytes_read=data["l2_bytes_read"],
+            l2_bytes_written=data["l2_bytes_written"],
+            cluster_cycles=tuple(data["cluster_cycles"]),
+            cluster_dma_stall_cycles=tuple(
+                data["cluster_dma_stall_cycles"]),
+            barrier_count=data["barrier_count"],
+        )
+
+
+@dataclass(frozen=True)
 class RunRecord:
     """One workload run on one backend, reduced to reportable numbers.
 
@@ -99,6 +160,7 @@ class RunRecord:
     counters: dict                   # main-region activity counters
     power: PowerReport
     cluster: ClusterDetail | None = None
+    soc: SocDetail | None = None
     seed: int | None = None
 
     @property
@@ -142,6 +204,7 @@ class RunRecord:
                 "energy_pj": self.power.total_energy_pj,
             },
             "cluster": self.cluster.to_json() if self.cluster else None,
+            "soc_detail": self.soc.to_json() if self.soc else None,
         }
 
     @classmethod
@@ -153,9 +216,12 @@ class RunRecord:
         """
         version = data.get("schema")
         if version != SCHEMA_VERSION:
+            hint = (" (v1 predates the SoC layer and lacks "
+                    "'soc_detail'; re-run the artifact to regenerate "
+                    "the payload)") if version == 1 else ""
             raise ValueError(
                 f"RunRecord schema mismatch: payload has "
-                f"{version!r}, this build reads {SCHEMA_VERSION}"
+                f"{version!r}, this build reads {SCHEMA_VERSION}{hint}"
             )
         p = data["power"]
         power = PowerReport(
@@ -166,6 +232,8 @@ class RunRecord:
         )
         cluster = ClusterDetail.from_json(data["cluster"]) \
             if data.get("cluster") else None
+        soc = SocDetail.from_json(data["soc_detail"]) \
+            if data.get("soc_detail") else None
         return cls(
             kernel=data["kernel"],
             variant=data["variant"],
@@ -181,4 +249,5 @@ class RunRecord:
             counters=dict(data["counters"]),
             power=power,
             cluster=cluster,
+            soc=soc,
         )

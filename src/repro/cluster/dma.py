@@ -60,6 +60,15 @@ class ClusterDma:
                 f"the TCDM capacity of 0x{self.tcdm_size:x} bytes"
             )
 
+    def _completion(self, begin: int, nbytes: int) -> int:
+        """Cycle the last beat of a transfer starting at *begin* lands.
+
+        The base engine moves ``bandwidth`` bytes per cycle after the
+        setup latency; SoC channels override this to arbitrate each
+        beat through the shared L2 interconnect.
+        """
+        return begin + self.setup_latency + -(-nbytes // self.bandwidth)
+
     def start(self, core_id: int, dst: int, src: int, nbytes: int,
               now: int) -> int:
         """Queue a transfer issued at *now*; returns its completion cycle."""
@@ -68,8 +77,8 @@ class ClusterDma:
         self._check_tcdm_bounds(dst, nbytes)
         self._check_tcdm_bounds(src, nbytes)
         begin = max(now, self._free_at)
-        duration = self.setup_latency + -(-nbytes // self.bandwidth)
-        done = begin + duration
+        done = self._completion(begin, nbytes)
+        duration = done - begin
         self._free_at = done
         self.busy_cycles += duration
         self.bytes_moved += nbytes

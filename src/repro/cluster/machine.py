@@ -92,7 +92,8 @@ class ClusterMachine:
     """N cores, one banked TCDM, one DMA engine, one barrier tree."""
 
     def __init__(self, config: ClusterConfig | None = None,
-                 core_config: CoreConfig | None = None) -> None:
+                 core_config: CoreConfig | None = None,
+                 dma: ClusterDma | None = None) -> None:
         self.config = config or ClusterConfig()
         self.core_config = core_config or CoreConfig()
         self.tcdm = BankedTcdm(
@@ -100,7 +101,9 @@ class ClusterMachine:
             bank_stagger_words=self.config.bank_stagger_words,
             enabled=self.config.model_bank_conflicts,
         )
-        self.dma = ClusterDma(
+        # An enclosing SoC passes its own per-cluster DMA channel (same
+        # engine model, beats arbitrated by the shared interconnect).
+        self.dma = dma if dma is not None else ClusterDma(
             bandwidth=self.config.dma_bandwidth,
             setup_latency=self.config.dma_setup_latency,
             tcdm_size=self.config.tcdm_size,
@@ -108,6 +111,11 @@ class ClusterMachine:
         self.cores: list[Machine] = []
         self._programs: list[Program] = []
         self.barrier_count = 0
+        #: Index within an enclosing SocMachine (0 standalone).
+        self.cluster_id = 0
+        self._active: list[Machine] = []
+        self._finished: list[Machine] = []
+        self._bound = False
 
     # ------------------------------------------------------------------
     def add_core(self, program: Program, memory: Memory) -> Machine:
@@ -153,32 +161,62 @@ class ClusterMachine:
             m.barrier_wait = False
         self.barrier_count += 1
 
-    def run(self, max_steps: int = 200_000_000) -> ClusterRunResult:
-        """Run every core to completion and aggregate measurements."""
+    def bind(self, max_steps: int = 200_000_000) -> None:
+        """Prepare every core for stepwise execution (see :meth:`step`)."""
         if not self.cores:
             raise ValueError("cluster has no cores; call add_core first")
         for machine, program in zip(self.cores, self._programs):
             # Cores sharing one Program object share its decode: the
             # DecodedProgram cache rides on the Program itself.
             machine.bind(program, max_steps)
-        active = [m for m in self.cores]
-        finished: list[Machine] = []
-        # The driver loop runs once per dynamic instruction; talk to the
-        # cores' schedulers directly rather than through the Machine
-        # facade's delegating properties.
-        while active:
-            runnable = [m for m in active if not m.sched.barrier_wait]
-            if not runnable:
-                self._release_barrier(active, finished)
-                continue
-            # Step the core furthest behind on its issue timeline so
-            # shared-resource claims happen in (approximate) cycle
-            # order.  Ties break by core id: deterministic.
-            machine = min(runnable,
-                          key=lambda m: (m.sched.int_time, m.core_id))
-            if not machine.sched.step():
-                active.remove(machine)
-                finished.append(machine)
+        self._active = [m for m in self.cores]
+        self._finished = []
+        self._bound = True
+
+    @property
+    def finished(self) -> bool:
+        return self._bound and not self._active
+
+    @property
+    def laggard_time(self) -> int:
+        """Issue time of the core furthest behind (the cluster's clock).
+
+        Barrier-parked cores keep their arrival-time clock, so a fully
+        parked cluster reports the time its pending release resolves
+        around — which is what an enclosing SoC driver should order on.
+        """
+        if not self._active:
+            return max((m.sched.int_time for m in self.cores), default=0)
+        return min(m.sched.int_time for m in self._active)
+
+    def step(self) -> bool:
+        """Advance the cluster by one dynamic instruction (or one
+        barrier release) on the laggard core.
+
+        Returns False once every core has finished.  The driver talks
+        to the cores' schedulers directly rather than through the
+        Machine facade's delegating properties (this loop runs once per
+        dynamic instruction).
+        """
+        active = self._active
+        if not active:
+            return False
+        runnable = [m for m in active if not m.sched.barrier_wait]
+        if not runnable:
+            self._release_barrier(active, self._finished)
+            return True
+        # Step the core furthest behind on its issue timeline so
+        # shared-resource claims happen in (approximate) cycle
+        # order.  Ties break by core id: deterministic.
+        machine = min(runnable,
+                      key=lambda m: (m.sched.int_time, m.core_id))
+        if not machine.sched.step():
+            active.remove(machine)
+            self._finished.append(machine)
+        return bool(active)
+
+    def result(self) -> ClusterRunResult:
+        """Aggregate measurements of everything executed so far."""
         results = [m.result() for m in self.cores]
         return ClusterRunResult(
             cycles=max(r.cycles for r in results),
@@ -192,3 +230,10 @@ class ClusterMachine:
             dma_busy_cycles=self.dma.busy_cycles,
             barrier_count=self.barrier_count,
         )
+
+    def run(self, max_steps: int = 200_000_000) -> ClusterRunResult:
+        """Run every core to completion and aggregate measurements."""
+        self.bind(max_steps)
+        while self.step():
+            pass
+        return self.result()

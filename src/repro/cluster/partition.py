@@ -147,7 +147,8 @@ class ClusterWorkload:
 def partition_kernel(kernel_def: KernelDef, n: int, n_cores: int,
                      variant: str = "baseline",
                      block: int | None = None,
-                     stage_dma: bool | None = None) -> ClusterWorkload:
+                     stage_dma: bool | None = None,
+                     first_core: int = 0) -> ClusterWorkload:
     """Chunk one registered kernel over *n_cores* cores.
 
     Args:
@@ -161,6 +162,10 @@ def partition_kernel(kernel_def: KernelDef, n: int, n_cores: int,
             kernels whose single-core instances already account DMA
             activity (``expf``/``logf``) when the cluster has more
             than one core.
+        first_core: Global index of this cluster's first core.  The
+            SoC partitioner passes ``cluster * n_cores`` so per-core
+            seeds stay unique across the whole SoC; global core 0
+            always keeps the builder's default seed.
     """
     if variant not in ("baseline", "copift"):
         raise ValueError(f"unknown variant {variant!r}")
@@ -178,10 +183,10 @@ def partition_kernel(kernel_def: KernelDef, n: int, n_cores: int,
     instances = []
     for core in range(n_cores):
         kwargs: dict = {}
-        if core > 0:
-            # Core 0 keeps the builder's default seed so a 1-core
-            # workload is bit-identical to the plain instance.
-            kwargs["seed"] = _SEED_STRIDE * core
+        if first_core + core > 0:
+            # Global core 0 keeps the builder's default seed so a
+            # 1-core workload is bit-identical to the plain instance.
+            kwargs["seed"] = _SEED_STRIDE * (first_core + core)
         if variant == "baseline":
             instance = kernel_def.build_baseline(chunk, **kwargs)
         else:

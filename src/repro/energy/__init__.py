@@ -1,7 +1,12 @@
 """Activity-based energy and power model (paper Fig. 2b/2c substitute)."""
 
-from .constants import ClusterEnergyParams, EnergyParams
-from .model import ClusterEnergyModel, EnergyModel, PowerReport
+from .constants import ClusterEnergyParams, EnergyParams, SocEnergyParams
+from .model import (
+    ClusterEnergyModel,
+    EnergyModel,
+    PowerReport,
+    SocEnergyModel,
+)
 
 __all__ = [
     "ClusterEnergyModel",
@@ -9,4 +14,6 @@ __all__ = [
     "EnergyModel",
     "EnergyParams",
     "PowerReport",
+    "SocEnergyModel",
+    "SocEnergyParams",
 ]

@@ -101,3 +101,33 @@ class ClusterEnergyParams:
     dma_setup_pj: float = 6.0
     #: One barrier episode (tree toggle + wakeup broadcast).
     barrier_pj: float = 8.0
+
+
+@dataclass(frozen=True)
+class SocEnergyParams:
+    """SoC-level additions layered over the per-cluster model.
+
+    A multi-cluster SoC pays the cluster decomposition C times (each
+    cluster keeps its own clock tree, cores and TCDM banks) plus the
+    resources only the SoC level owns: the shared L2 macro and the
+    cluster-to-L2 interconnect.  Constants are calibrated in the same
+    spirit as :class:`ClusterEnergyParams` — an L2 access costs several
+    times a TCDM bank access (bigger macro, longer wires), moving a
+    beat across the SoC interconnect costs more than a TCDM crossbar
+    grant, and the L2 + interconnect static power is a visible but
+    non-dominant slice of one cluster's constant power.
+    """
+
+    # -- constant power [mW] ------------------------------------------------
+    #: Interconnect clock/leakage plus the L2 controller, paid once.
+    soc_constant_mw: float = 6.5
+    #: Leakage/clock of the L2 macro itself.
+    l2_static_mw: float = 5.0
+
+    # -- per-event energy [pJ] ----------------------------------------------
+    #: One DMA beat traversing the SoC interconnect.
+    interconnect_beat_pj: float = 1.8
+    #: One retried (link-stalled) beat arbitration cycle.
+    link_stall_pj: float = 0.4
+    #: Per byte read from or written to the L2 macro.
+    l2_byte_pj: float = 0.9

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..sim.counters import Counters
-from .constants import ClusterEnergyParams, EnergyParams
+from .constants import ClusterEnergyParams, EnergyParams, SocEnergyParams
 
 
 @dataclass(frozen=True)
@@ -189,5 +189,62 @@ class ClusterEnergyModel:
             cycles=cycles,
             dynamic_energy_pj=dynamic,
             constant_energy_pj=constant_mw * cycles,
+            breakdown_pj=breakdown,
+        )
+
+
+class SocEnergyModel:
+    """Energy/power for a C-cluster SoC run.
+
+    Layered on :class:`ClusterEnergyModel` exactly as that model layers
+    on the per-core one: each cluster's activity is priced by the
+    cluster model over its *own* counters (dynamic energy is additive),
+    every cluster pays its full constant decomposition for the whole
+    SoC makespan, and the SoC level adds what only it can see — beats
+    crossing the shared interconnect, link-arbitration retries, L2
+    accesses, and the interconnect + L2 static power.
+    """
+
+    def __init__(self, params: EnergyParams | None = None,
+                 cluster_params: ClusterEnergyParams | None = None,
+                 soc_params: SocEnergyParams | None = None) -> None:
+        self.cluster_model = ClusterEnergyModel(params, cluster_params)
+        self.params = self.cluster_model.params
+        self.cluster_params = self.cluster_model.cluster_params
+        self.soc_params = soc_params or SocEnergyParams()
+
+    def report(self, cluster_reports: list[PowerReport], cycles: int,
+               link_beats: int = 0,
+               link_stall_cycles: int = 0,
+               l2_bytes: int = 0) -> PowerReport:
+        """Combine per-cluster reports with the SoC-level activity.
+
+        Args:
+            cluster_reports: One :meth:`ClusterEnergyModel.report` per
+                cluster, each priced over that cluster's counters with
+                ``cycles`` set to the **SoC makespan** (every cluster
+                is powered for the whole run).
+            cycles: SoC makespan of the region.
+            link_beats: DMA beats granted over the L2 link.
+            link_stall_cycles: Beat-arbitration retry cycles.
+            l2_bytes: Bytes read from plus written to the L2.
+        """
+        sp = self.soc_params
+        breakdown: dict[str, float] = {}
+        for report in cluster_reports:
+            for component, energy in report.breakdown_pj.items():
+                breakdown[component] = \
+                    breakdown.get(component, 0.0) + energy
+        breakdown["soc_interconnect"] = (
+            link_beats * sp.interconnect_beat_pj
+            + link_stall_cycles * sp.link_stall_pj
+        )
+        breakdown["l2"] = l2_bytes * sp.l2_byte_pj
+        constant = sum(r.constant_energy_pj for r in cluster_reports) \
+            + (sp.soc_constant_mw + sp.l2_static_mw) * cycles
+        return PowerReport(
+            cycles=cycles,
+            dynamic_energy_pj=sum(breakdown.values()),
+            constant_energy_pj=constant,
             breakdown_pj=breakdown,
         )

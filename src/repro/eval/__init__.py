@@ -1,5 +1,5 @@
 """Evaluation harness: the paper's Table I and Figures 2-3, plus the
-cluster-scaling artifact (``clusterscale``).
+scaling artifacts (``clusterscale``, ``socscale``).
 
 Artifacts are built on the unified experiment API (:mod:`repro.api`):
 each module registers itself with ``@artifact(...)`` and runs its
@@ -19,6 +19,7 @@ from . import (  # noqa: F401
     fig2,
     fig3,
     report,
+    socscale,
     table1,
 )
 from .runner import (

@@ -8,8 +8,14 @@ Usage::
     python -m repro.eval fig3 [--full] [--jobs N]
     python -m repro.eval clusterscale [--n 4096] [--cores 1,2,4,8]
                                       [--jobs N]
+    python -m repro.eval socscale [--n 4096] [--clusters 1x4,2x4,4x4]
+                                  [--jobs N]
     python -m repro.eval all [--out results.txt] [--json] [--jobs N]
     python -m repro.eval report --out report.md
+
+Artifacts may register **extra flags** of their own (``socscale
+--clusters``); the dispatcher pulls them from the registry and rejects
+a flag passed to an artifact that did not register it.
 
 The subcommands are **registered artifacts** (``repro.api.artifact``):
 importing the artifact modules below fills the registry, and everything
@@ -91,6 +97,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="Emit a machine-readable JSON payload "
                              "instead of the text rendering.")
+    # Per-artifact extra flags come from the registry; the dispatcher
+    # accepts them all and validates ownership after parsing, so a
+    # flag given to the wrong artifact gets one clear line (same
+    # treatment as --jobs on an unsharded artifact).
+    flag_owner = {}
+    for flag, owner in artifacts.extra_flags():
+        flag_owner[flag.dest] = (flag, owner)
+        parser.add_argument(flag.name, type=flag.parse,
+                            default=flag.default, metavar=flag.metavar,
+                            help=f"{flag.help} ({owner.name} only)")
     args = parser.parse_args(argv)
 
     if args.list_:
@@ -112,9 +128,21 @@ def main(argv: list[str] | None = None) -> int:
             f"({', '.join(artifacts.sharded_names())}); artifact "
             f"{args.artifact!r} runs a single measurement"
         )
+    own_dests = {flag.dest for flag in spec.flags}
+    extras = {}
+    for dest, (flag, owner) in flag_owner.items():
+        value = getattr(args, dest)
+        if dest in own_dests:
+            extras[dest] = value
+        elif value != flag.default:
+            parser.error(
+                f"{flag.name} applies to artifact {owner.name!r} "
+                f"only; artifact {args.artifact!r} does not take it"
+            )
 
     request = ArtifactRequest(n=args.n, full=args.full,
-                              cores=args.cores, jobs=args.jobs)
+                              cores=args.cores, jobs=args.jobs,
+                              extras=extras)
     result = spec.run(request)
     write_output(result.text, result.payload, args.out, args.json)
     return 0

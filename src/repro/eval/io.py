@@ -13,6 +13,7 @@ from ..api.artifacts import ArtifactResult, combine, write_output
 from .clusterscale import clusterscale_payload
 from .fig2 import fig2_payload
 from .fig3 import fig3_payload
+from .socscale import socscale_payload
 from .table1 import table1_payload
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "combine",
     "fig2_payload",
     "fig3_payload",
+    "socscale_payload",
     "table1_payload",
     "write_output",
 ]

@@ -1,0 +1,83 @@
+"""Shared L2 memory: the SoC-level backing store for DMA staging.
+
+Functionally the L2 is one flat image shared by every cluster: the SoC
+partitioner stages each core's input chunk here (a bump allocator hands
+out regions, capacity is enforced), and the per-cluster DMA channels
+count their L2-side traffic against it.  The *data path* of a transfer
+stays the per-core mirror window the core model already executes
+(keeping the single-core simulator untouched and functional state
+per-core); tests assert the shared image and the mirrors hold the same
+bytes, so the L2 is the authoritative copy in everything but plumbing.
+
+Timing lives elsewhere: per-beat link arbitration in
+:class:`~repro.soc.interconnect.SocInterconnect`, L2 access latency in
+:class:`~repro.soc.config.SocConfig.l2_latency`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.memory import Memory, MemoryError_
+
+
+class L2Memory:
+    """Flat shared L2 image with a bump allocator and traffic stats."""
+
+    def __init__(self, size: int = 1 << 22) -> None:
+        self.memory = Memory(size)
+        self._next = 0
+        #: name -> (addr, nbytes) of every staged region.
+        self.regions: dict[str, tuple[int, int]] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def size(self) -> int:
+        return self.memory.size
+
+    @property
+    def used(self) -> int:
+        return self._next
+
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, nbytes: int, align: int = 8) -> int:
+        """Reserve *nbytes* for *name*; raises when the L2 overflows."""
+        if name in self.regions:
+            raise ValueError(f"L2 region {name!r} already allocated")
+        addr = -(-self._next // align) * align
+        if addr + nbytes > self.size:
+            raise MemoryError_(
+                f"L2 region {name!r} of {nbytes} bytes does not fit: "
+                f"{self.size - addr} of 0x{self.size:x} bytes free"
+            )
+        self._next = addr + nbytes
+        self.regions[name] = (addr, nbytes)
+        return addr
+
+    def stage(self, name: str, array: np.ndarray) -> int:
+        """Allocate a region for *array* and write it; returns its addr."""
+        addr = self.alloc(name, array.nbytes)
+        self.memory.write_array(addr, array)
+        return addr
+
+    def region_bytes(self, name: str) -> bytes:
+        """The current contents of a staged region (for verification)."""
+        addr, nbytes = self.regions[name]
+        return bytes(self.memory.data[addr:addr + nbytes])
+
+    # ------------------------------------------------------------------
+    # traffic accounting (driven by the SoC DMA channels)
+    def note_read(self, nbytes: int) -> None:
+        self.bytes_read += nbytes
+        self.reads += 1
+
+    def note_write(self, nbytes: int) -> None:
+        self.bytes_written += nbytes
+        self.writes += 1
+
+    @property
+    def bytes_touched(self) -> int:
+        return self.bytes_read + self.bytes_written

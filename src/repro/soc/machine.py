@@ -1,0 +1,230 @@
+"""Multi-cluster SoC simulation: C ClusterMachines over a shared L2.
+
+A :class:`SocMachine` composes C :class:`~repro.cluster.machine.
+ClusterMachine` clusters with the SoC-level shared resources of this
+package:
+
+* every cluster's DMA transfers move their beats through one
+  :class:`~repro.soc.interconnect.SocInterconnect` (bandwidth-limited
+  link to the L2, round-robin beat arbitration, per-link stats),
+* staged data lives in one shared :class:`~repro.soc.l2.L2Memory`
+  (capacity enforcement, read/write traffic accounting).
+
+Execution is event-driven the same way a cluster steps its cores: the
+driver repeatedly steps the *cluster* whose laggard core is furthest
+behind in simulated time, and that cluster in turn steps its own
+laggard core — so interconnect claims line up with the cycles they
+model across the whole SoC.  Functional state stays per-core, exactly
+as in the cluster layer, so correctness is independent of the stepping
+interleave; only timing couples the clusters.  With a single cluster
+and the default (uncontended) interconnect the composition is
+cycle-identical to a bare ``ClusterMachine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..cluster.dma import ClusterDma
+from ..cluster.machine import ClusterMachine, ClusterRunResult
+from ..cluster.partition import L2_BASE
+from ..sim.config import CoreConfig
+from ..sim.counters import Counters, RegionMeasurement
+from .config import SocConfig
+from .interconnect import SocInterconnect
+from .l2 import L2Memory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.config import ClusterConfig
+
+
+def _sum_counters(parts: list[Counters]) -> Counters:
+    total = Counters()
+    for part in parts:
+        for name, value in vars(part).items():
+            setattr(total, name, getattr(total, name) + value)
+    return total
+
+
+class SocDmaChannel(ClusterDma):
+    """One cluster's DMA engine with its beats arbitrated SoC-wide.
+
+    Same engine model as :class:`ClusterDma` (program-order transfers,
+    per-transfer setup latency, ``bandwidth`` bytes per beat), but the
+    data beats are granted by the shared :class:`SocInterconnect`
+    instead of landing unconditionally one per cycle — contention from
+    other clusters stretches the transfer, and ``dma.wait`` fences
+    charge the stretch to the waiting core's ``stall_dma``.  L2-window
+    endpoints are tallied against the shared :class:`L2Memory`.
+    """
+
+    def __init__(self, cluster_id: int, interconnect: SocInterconnect,
+                 l2: L2Memory | None = None,
+                 l2_latency: int = 0,
+                 l2_window_base: int = L2_BASE,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.cluster_id = cluster_id
+        self.interconnect = interconnect
+        self.l2 = l2
+        self.l2_latency = l2_latency
+        self.l2_window_base = l2_window_base
+
+    def _completion(self, begin: int, nbytes: int) -> int:
+        nbeats = -(-nbytes // self.bandwidth)
+        return self.interconnect.transfer(
+            self.cluster_id, nbeats,
+            begin + self.setup_latency + self.l2_latency)
+
+    def start(self, core_id: int, dst: int, src: int, nbytes: int,
+              now: int) -> int:
+        done = super().start(core_id, dst, src, nbytes, now)
+        if self.l2 is not None:
+            if src >= self.l2_window_base:
+                self.l2.note_read(nbytes)
+            if dst >= self.l2_window_base:
+                self.l2.note_write(nbytes)
+        return done
+
+
+@dataclass
+class SocRunResult:
+    """Aggregate measurements of one SoC simulation.
+
+    Attributes:
+        cycles: SoC makespan — the slowest cluster's elapsed cycles.
+        cluster_results: Per-cluster :class:`ClusterRunResult`, in
+            cluster order.
+        counters: Field-wise sum of the per-cluster counters.
+        link_beats: Per-cluster beats granted over the L2 link.
+        link_stall_cycles: Per-cluster beat-arbitration stall cycles.
+        l2_bytes_read: Bytes the DMA channels read from the L2 window.
+        l2_bytes_written: Bytes written to the L2 window.
+        dma_bytes: Bytes moved by all cluster DMA channels.
+        dma_busy_cycles: Summed busy cycles of all DMA channels.
+        barrier_count: Barrier episodes across every cluster.
+    """
+
+    cycles: int
+    cluster_results: list[ClusterRunResult]
+    counters: Counters
+    link_beats: list[int] = field(default_factory=list)
+    link_stall_cycles: list[int] = field(default_factory=list)
+    l2_bytes_read: int = 0
+    l2_bytes_written: int = 0
+    dma_bytes: int = 0
+    dma_busy_cycles: int = 0
+    barrier_count: int = 0
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.cluster_results)
+
+    @property
+    def cluster_cycles(self) -> list[int]:
+        return [r.cycles for r in self.cluster_results]
+
+    @property
+    def cluster_dma_stall_cycles(self) -> list[int]:
+        """Per-cluster ``dma.wait`` fence stalls (link contention shows
+        up here: stretched transfers push the fences out)."""
+        return [r.counters.stall_dma for r in self.cluster_results]
+
+    def region(self, name: str) -> RegionMeasurement:
+        """SoC-level view of a marked region (makespan + summed
+        counters), mirroring :meth:`ClusterRunResult.region`."""
+        parts = []
+        for r in self.cluster_results:
+            try:
+                parts.append(r.region(name))
+            except KeyError:
+                continue
+        if not parts:
+            raise KeyError(f"no region {name!r} in any cluster")
+        return RegionMeasurement(
+            name,
+            max(p.cycles for p in parts),
+            _sum_counters([p.counters for p in parts]),
+        )
+
+
+class SocMachine:
+    """C clusters, one shared L2, one beat-arbitrated interconnect."""
+
+    def __init__(self, config: SocConfig | None = None,
+                 core_config: CoreConfig | None = None) -> None:
+        self.config = config or SocConfig()
+        self.core_config = core_config
+        self.interconnect = SocInterconnect(
+            n_clusters=self.config.n_clusters,
+            link_beats_per_cycle=self.config.link_beats_per_cycle,
+            max_beats_per_cluster=self.config.max_beats_per_cluster,
+            enabled=self.config.model_contention,
+        )
+        self.l2 = L2Memory(self.config.l2_size)
+        self.clusters: list[ClusterMachine] = []
+
+    # ------------------------------------------------------------------
+    def add_cluster(self, cluster_config: "ClusterConfig | None" = None
+                    ) -> ClusterMachine:
+        """Create and register the next cluster.
+
+        Cores are added to the returned :class:`ClusterMachine` exactly
+        as in a standalone cluster; its DMA engine is already a
+        :class:`SocDmaChannel` wired to this SoC's interconnect/L2.
+        """
+        if len(self.clusters) >= self.config.n_clusters:
+            raise ValueError(
+                f"SoC is configured for {self.config.n_clusters} "
+                f"clusters"
+            )
+        cc = cluster_config or self.config.cluster
+        cluster_id = len(self.clusters)
+        channel = SocDmaChannel(
+            cluster_id=cluster_id,
+            interconnect=self.interconnect,
+            l2=self.l2,
+            l2_latency=self.config.l2_latency,
+            bandwidth=cc.dma_bandwidth,
+            setup_latency=cc.dma_setup_latency,
+            tcdm_size=cc.tcdm_size,
+        )
+        cluster = ClusterMachine(config=cc,
+                                 core_config=self.core_config,
+                                 dma=channel)
+        cluster.cluster_id = cluster_id
+        self.clusters.append(cluster)
+        return cluster
+
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 200_000_000) -> SocRunResult:
+        """Run every cluster to completion and aggregate measurements."""
+        if not self.clusters:
+            raise ValueError("SoC has no clusters; call add_cluster "
+                             "first")
+        for cluster in self.clusters:
+            cluster.bind(max_steps)
+        active = list(self.clusters)
+        # Step the cluster whose laggard core is furthest behind, so
+        # cross-cluster interconnect claims happen in (approximate)
+        # cycle order.  Ties break by cluster id: deterministic.
+        while active:
+            cluster = min(active,
+                          key=lambda c: (c.laggard_time, c.cluster_id))
+            if not cluster.step():
+                active.remove(cluster)
+        results = [c.result() for c in self.clusters]
+        stats = self.interconnect.stats
+        return SocRunResult(
+            cycles=max(r.cycles for r in results),
+            cluster_results=results,
+            counters=_sum_counters([r.counters for r in results]),
+            link_beats=[s.beats for s in stats],
+            link_stall_cycles=[s.stall_cycles for s in stats],
+            l2_bytes_read=self.l2.bytes_read,
+            l2_bytes_written=self.l2.bytes_written,
+            dma_bytes=sum(r.dma_bytes for r in results),
+            dma_busy_cycles=sum(r.dma_busy_cycles for r in results),
+            barrier_count=sum(r.barrier_count for r in results),
+        )

@@ -11,8 +11,10 @@ from repro.api import (
     ClusterBackend,
     CoreBackend,
     RunRecord,
+    SocBackend,
     Sweep,
     Workload,
+    backend_spec_forms,
     pair,
     parse_backend,
 )
@@ -95,13 +97,53 @@ class TestBackendParsing:
     def test_whitespace_tolerated(self):
         assert parse_backend(" core ").spec == "core"
 
+    def test_soc_with_shape(self):
+        backend = parse_backend("soc:2x4")
+        assert isinstance(backend, SocBackend)
+        assert backend.clusters == 2 and backend.cores == 4
+        assert backend.spec == "soc:2x4"
+
+    def test_soc_default_shape(self):
+        backend = parse_backend("soc")
+        assert backend.clusters >= 1 and backend.cores >= 1
+        # Both default construction paths must build the same machine.
+        assert backend.spec == SocBackend().spec
+
+    def test_soc_spec_honours_cluster_config(self):
+        from repro.cluster import ClusterConfig
+
+        config = ClusterConfig(tcdm_banks=16)
+        backend = parse_backend("soc:2x4", cluster_config=config)
+        assert backend.config.cluster.tcdm_banks == 16
+        assert parse_backend("soc", cluster_config=config)\
+            .config.cluster.tcdm_banks == 16
+
     @pytest.mark.parametrize("spec", [
         "gpu", "core:2", "cluster:x", "cluster:", "cluster:0",
-        "cluster:-1", "",
+        "cluster:-1", "", "soc:", "soc:2", "soc:x2", "soc:2x",
+        "soc:0x4", "soc:2x0", "soc:2x4x8",
     ])
     def test_invalid_specs_rejected(self, spec):
         with pytest.raises(ValueError):
             parse_backend(spec)
+
+    def test_unknown_spec_error_enumerates_all_forms(self):
+        """The error must list every accepted spec form, and that
+        listing must come from the same table parse_backend dispatches
+        on (so it cannot fall out of sync with the registered
+        backends)."""
+        with pytest.raises(ValueError) as excinfo:
+            parse_backend("tpu")
+        message = str(excinfo.value)
+        forms = backend_spec_forms()
+        assert forms == ("core", "cluster[:N]", "soc:CxM")
+        for form in forms:
+            assert repr(form) in message
+        # Every advertised form actually parses (a representative of
+        # each), so the listing is live, not documentation.
+        for example in ("core", "cluster", "cluster:2", "soc",
+                        "soc:2x2"):
+            assert parse_backend(example) is not None
 
     def test_non_string_rejected(self):
         with pytest.raises(ValueError, match="must be a string"):
@@ -111,9 +153,20 @@ class TestBackendParsing:
         with pytest.raises(ValueError, match="cores must be >= 1"):
             ClusterBackend(cores=0)
 
+    def test_soc_backend_validates_shape(self):
+        with pytest.raises(ValueError, match="clusters must be >= 1"):
+            SocBackend(clusters=0)
+        with pytest.raises(ValueError, match="cores must be >= 1"):
+            SocBackend(cores=0)
+
     def test_cluster_rejects_explicit_seed(self):
         with pytest.raises(ValueError, match="per-core seeds"):
             ClusterBackend(cores=2).run(
+                Workload("pi_lcg", n=256, seed=1))
+
+    def test_soc_rejects_explicit_seed(self):
+        with pytest.raises(ValueError, match="per-core seeds"):
+            SocBackend(clusters=2, cores=2).run(
                 Workload("pi_lcg", n=256, seed=1))
 
 
@@ -126,6 +179,11 @@ class TestRunRecordSchema:
     @pytest.fixture(scope="class")
     def cluster_record(self):
         return ClusterBackend(cores=2).run(Workload("pi_lcg", n=512))
+
+    @pytest.fixture(scope="class")
+    def soc_record(self):
+        return SocBackend(clusters=2, cores=2).run(
+            Workload("expf", "copift", n=512))
 
     def test_core_record_shape(self, core_record):
         r = core_record
@@ -156,10 +214,43 @@ class TestRunRecordSchema:
         rebuilt = RunRecord.from_json(data)
         assert rebuilt == cluster_record
 
+    def test_soc_record_shape(self, soc_record):
+        r = soc_record
+        assert r.backend == "soc:2x2"
+        assert r.cluster is None
+        assert r.soc is not None
+        assert r.soc.clusters == 2
+        assert r.soc.cores_per_cluster == 2
+        assert len(r.soc.cluster_cycles) == 2
+        assert len(r.soc.link_beats) == 2
+        assert r.soc.l2_bytes_read == 512 * 8
+        assert r.soc.barrier_count >= 2
+        assert r.power_mw > 0
+
+    def test_json_round_trip_soc(self, soc_record):
+        data = json.loads(json.dumps(soc_record.to_json()))
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["soc_detail"]["clusters"] == 2
+        rebuilt = RunRecord.from_json(data)
+        assert rebuilt == soc_record
+
     def test_schema_mismatch_rejected(self, core_record):
         stale = dict(core_record.to_json(), schema=SCHEMA_VERSION + 1)
         with pytest.raises(ValueError, match="schema mismatch"):
             RunRecord.from_json(stale)
+
+    def test_v1_payload_gets_actionable_error(self, core_record):
+        """A v1 payload must fail with one line naming the version
+        found, the version expected, and the missing soc_detail."""
+        v1 = dict(core_record.to_json(), schema=1)
+        v1.pop("soc_detail")
+        with pytest.raises(ValueError) as excinfo:
+            RunRecord.from_json(v1)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "1" in message and str(SCHEMA_VERSION) in message
+        assert "soc_detail" in message
+        assert "re-run" in message
 
     def test_payload_is_json_primitive_only(self, cluster_record):
         # Must survive a strict dump with no default= hook.
@@ -253,7 +344,8 @@ class TestSweep:
         from repro.api import artifacts
         assert artifacts.get("fig2").name == "fig2"
         assert set(artifacts.names()) >= {
-            "table1", "fig2", "fig3", "clusterscale", "all", "report",
+            "table1", "fig2", "fig3", "clusterscale", "socscale",
+            "all", "report",
         }
 
     def test_invalid_jobs(self):

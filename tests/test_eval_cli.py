@@ -6,10 +6,11 @@ import json
 import pytest
 
 from repro.api import artifacts
-from repro.eval import clusterscale, fig3, table1
+from repro.eval import clusterscale, fig3, socscale, table1
 from repro.eval.__main__ import main
 from repro.eval.io import (
     clusterscale_payload,
+    socscale_payload,
     table1_payload,
     write_output,
 )
@@ -55,6 +56,50 @@ class TestClusterScaleArtifact:
         parsed = json.loads(json.dumps(payload))
         assert parsed["cores"] == [1, 2]
         assert len(parsed["rows"]) == 12
+
+
+class TestSocScaleArtifact:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return socscale.generate(n=512, shapes=((1, 2), (2, 2)))
+
+    def test_all_kernels_both_variants(self, data):
+        names = {(r.name, r.variant) for r in data.rows}
+        assert len(names) == 12
+
+    def test_one_cluster_column_matches_bare_cluster(self, data):
+        base = clusterscale.generate(n=512, cores=(1, 2))
+        for row in data.rows:
+            point = row.point(1, 2)
+            assert point.cycles \
+                == base.row(row.name, row.variant).point(2).cycles, \
+                (row.name, row.variant)
+
+    def test_speedup_positive_and_bounded(self, data):
+        for row in data.rows:
+            p = row.point(2, 2)
+            assert 1.0 < p.speedup < 2.05, (row.name, row.variant)
+            assert p.efficiency == pytest.approx(p.speedup / 2)
+
+    def test_render_lists_everything(self, data):
+        text = socscale.render(data)
+        assert "SoC scaling" in text
+        assert "1x2/2x2" in text
+        for row in data.rows:
+            assert row.name in text
+
+    def test_payload_round_trips_through_json(self, data):
+        payload = socscale_payload(data)
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["shapes"] == [[1, 2], [2, 2]]
+        assert len(parsed["rows"]) == 12
+
+    def test_parse_shapes(self):
+        assert socscale.parse_shapes("1x4,2x8") == ((1, 4), (2, 8))
+        import argparse
+        for bad in ("", "2", "2x", "0x4", "axb"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                socscale.parse_shapes(bad)
 
 
 class TestOutRouting:
@@ -129,6 +174,19 @@ class TestArgumentValidation:
             main(["report", "--jobs", "2"])
         assert "sharded sweeps only" in capsys.readouterr().err
 
+    def test_extra_flag_on_wrong_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--clusters", "1x4"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--clusters applies to artifact 'socscale' only" in err
+        assert "'table1'" in err
+
+    def test_bad_extra_flag_value_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["socscale", "--clusters", "0x4"])
+        assert ">= 1x1" in capsys.readouterr().err
+
     def test_jobs_one_accepted_everywhere(self, tmp_path):
         # --jobs 1 is the sequential default and is valid for any
         # artifact, sharded or not.
@@ -159,17 +217,57 @@ class TestArtifactRegistry:
 
     def test_report_order_is_explicit(self):
         assert artifacts.names() == [
-            "table1", "fig2", "fig3", "clusterscale", "all", "report",
+            "table1", "fig2", "fig3", "clusterscale", "socscale",
+            "all", "report",
         ]
         assert artifacts.bundle_names() == [
-            "table1", "fig2", "fig3", "clusterscale",
+            "table1", "fig2", "fig3", "clusterscale", "socscale",
         ]
         assert artifacts.sharded_names() == [
-            "fig3", "clusterscale", "all",
+            "fig3", "clusterscale", "socscale", "all",
         ]
 
     def test_alias_resolves_to_canonical(self):
         assert artifacts.get("fig2a").name == "fig2"
+
+    def test_list_shows_extra_flags(self, capsys):
+        main(["--list"])
+        assert "--clusters" in capsys.readouterr().out
+
+    def test_extra_flag_registration_guards(self):
+        from repro.api.artifacts import ExtraFlag
+
+        with pytest.raises(ValueError, match="start with '--'"):
+            ExtraFlag("clusters")
+        with pytest.raises(ValueError, match="shared eval flag"):
+            ExtraFlag("--jobs")
+        with pytest.raises(ValueError, match="already registered"):
+            artifacts.artifact(
+                "dup-flag-artifact",
+                flags=(ExtraFlag("--clusters"),))(lambda req: None)
+        assert "dup-flag-artifact" not in artifacts.REGISTRY
+
+    def test_extra_flag_dest_collision_rejected(self):
+        """Distinct spellings sharing an argparse dest ('--a-b' vs
+        '--a_b') must collide — the dispatcher routes by dest."""
+        from repro.api.artifacts import ExtraFlag
+
+        artifacts.artifact(
+            "tmp-dest-owner",
+            flags=(ExtraFlag("--tmp-dest"),))(lambda req: None)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                artifacts.artifact(
+                    "tmp-dest-clash",
+                    flags=(ExtraFlag("--tmp_dest"),))(lambda req: None)
+            assert "tmp-dest-clash" not in artifacts.REGISTRY
+        finally:
+            del artifacts.REGISTRY["tmp-dest-owner"]
+
+    def test_extra_flags_enumerate_with_owner(self):
+        owners = {flag.name: spec.name
+                  for flag, spec in artifacts.extra_flags()}
+        assert owners["--clusters"] == "socscale"
 
     def test_all_combines_bundle_in_report_order(self, monkeypatch,
                                                  tmp_path):
@@ -313,3 +411,23 @@ class TestJobsDeterminism:
         assert main([*base, "--jobs", "1", "--out", str(out1)]) == 0
         assert main([*base, "--jobs", "2", "--out", str(out2)]) == 0
         assert out1.read_text() == out2.read_text()
+
+    def test_socscale_cli_bit_identical_for_every_jobs(self, tmp_path):
+        """Acceptance: `python -m repro.eval socscale --jobs N` output
+        is bit-identical for every N (tested at 1/2/8)."""
+        outputs = []
+        for jobs in (1, 2, 8):
+            out = tmp_path / f"soc-j{jobs}.json"
+            assert main(["socscale", "--n", "512",
+                         "--clusters", "1x2,2x2", "--json",
+                         "--jobs", str(jobs), "--out", str(out)]) == 0
+            outputs.append(out.read_text())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_socscale_payload_identical(self):
+        seq = socscale_payload(socscale.generate(
+            n=512, shapes=((1, 2), (2, 2)), jobs=1))
+        par = socscale_payload(socscale.generate(
+            n=512, shapes=((1, 2), (2, 2)), jobs=3))
+        assert json.dumps(seq, sort_keys=True) \
+            == json.dumps(par, sort_keys=True)

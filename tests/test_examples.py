@@ -19,10 +19,12 @@ def run_example(name: str) -> str:
 
 
 def test_quickstart():
+    from repro.api import SCHEMA_VERSION
+
     out = run_example("quickstart.py")
     assert "speedup" in out
     assert "energy improvement" in out
-    assert "RunRecord.to_json() schema v1" in out
+    assert f"RunRecord.to_json() schema v{SCHEMA_VERSION}" in out
 
 
 def test_sweep_backends():
@@ -36,9 +38,16 @@ def test_every_example_has_a_test():
     """CI smoke coverage: no example script may go untested."""
     tested = {"quickstart.py", "softmax_llm.py", "montecarlo_pi.py",
               "custom_kernel_copift.py", "pipeline_timeline.py",
-              "sweep_backends.py"}
+              "sweep_backends.py", "soc_sweep.py"}
     on_disk = {p.name for p in EXAMPLES.glob("*.py")}
     assert on_disk == tested
+
+
+def test_soc_sweep():
+    out = run_example("soc_sweep.py")
+    assert "soc:4x4" in out
+    assert "beat-stall cycles" in out
+    assert "cycle-identical to cluster:4" in out
 
 
 def test_softmax_llm():

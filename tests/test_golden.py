@@ -3,10 +3,10 @@
 The micro-op execution core promises *bit-identical* measurements to
 the original interpreter: every cycle count, activity counter and
 energy figure for all six kernels — baseline and COPIFT, on a bare
-``Machine`` and on 1/2/4/8-core clusters — is locked to values recorded
-in ``tests/golden/golden_n512.json``.  Any timing drift (accidental or
-from a future refactor) fails these tests with the exact field that
-moved.
+``Machine``, on 1/2/4/8-core clusters and on 1x4/2x4/4x4 SoCs — is
+locked to values recorded in ``tests/golden/golden_n512.json``.  Any
+timing drift (accidental or from a future refactor) fails these tests
+with the exact field that moved.
 
 Regenerate after an *intentional* model change with::
 
@@ -28,13 +28,14 @@ GOLDEN_PATH = os.path.join(GOLDEN_DIR, "golden_n512.json")
 #: 8 cores x the minimum COPIFT chunk.
 N = 512
 CORES = (1, 2, 4, 8)
+SOC_SHAPES = ((1, 4), (2, 4), (4, 4))
 
 
 def collect() -> dict:
     """Measure everything the golden file locks in."""
     from repro.energy import EnergyModel
-    from repro.eval import clusterscale
-    from repro.eval.io import clusterscale_payload
+    from repro.eval import clusterscale, socscale
+    from repro.eval.io import clusterscale_payload, socscale_payload
     from repro.kernels.common import MAIN_REGION
     from repro.kernels.registry import KERNELS
 
@@ -66,8 +67,10 @@ def collect() -> dict:
 
     cluster = clusterscale_payload(
         clusterscale.generate(n=N, cores=CORES))
+    soc = socscale_payload(socscale.generate(n=N, shapes=SOC_SHAPES))
     return {"n": N, "cores": list(CORES),
-            "machine": machine_rows, "clusterscale": cluster}
+            "machine": machine_rows, "clusterscale": cluster,
+            "socscale": soc}
 
 
 @pytest.fixture(scope="module")
@@ -111,6 +114,29 @@ class TestGoldenCluster:
 
     def test_payload_bit_identical(self, golden, current):
         assert current["clusterscale"] == golden["clusterscale"]
+
+
+class TestGoldenSoc:
+    """1x4/2x4/4x4 SoC sweeps: full socscale payload."""
+
+    def test_payload_bit_identical(self, golden, current):
+        assert current["socscale"] == golden["socscale"]
+
+    def test_soc_1x4_matches_4core_cluster(self, golden):
+        """The golden values themselves must encode the layering
+        invariant: a 1-cluster SoC's cycles equal the standalone
+        4-core cluster's."""
+        cluster_rows = {(r["kernel"], r["variant"]): r
+                        for r in golden["clusterscale"]["rows"]}
+        for row in golden["socscale"]["rows"]:
+            soc_point = row["points"][0]
+            assert [soc_point["clusters"], soc_point["cores"]] == [1, 4]
+            cluster_points = {
+                p["cores"]: p
+                for p in cluster_rows[(row["kernel"],
+                                       row["variant"])]["points"]}
+            assert soc_point["cycles"] \
+                == cluster_points[4]["cycles"], row["kernel"]
 
 
 def _regen() -> None:
