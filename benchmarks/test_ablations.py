@@ -65,7 +65,6 @@ class TestL0CacheAblation:
         its power rises; the baseline (which thrashed anyway) moves
         much less."""
         config = CoreConfig(model_l0_icache=False)
-        model = EnergyModel()
 
         def run(variant, cfg):
             instance, measurement = _measure("expf", variant,

@@ -11,7 +11,7 @@ Shape assertions against the paper:
 
 import pytest
 
-from conftest import FIG2_N, kernel_row
+from conftest import kernel_row
 from repro.eval import measure_kernel
 from repro.kernels.registry import KERNELS
 

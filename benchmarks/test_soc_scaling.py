@@ -104,3 +104,79 @@ def test_cells_written_to_bench_file(bench):
     assert on_disk["soc_scaling"]["cells"] == bench["cells"]
     # The simulator-throughput section survives the merge.
     assert "total" in on_disk or "kernels" in on_disk
+
+
+# ---------------------------------------------------------------------------
+# staged-vs-drain overlap (simulated output write-back)
+# ---------------------------------------------------------------------------
+
+def _drain_cells(clusters: int = 2, cores: int = 4) -> dict:
+    """Write-back cost of the DMA-bound kernels on one SoC shape.
+
+    ``overlap`` is the fraction of the drain's serial beat time hidden
+    behind other work: 1.0 means write-back was free (fully overlapped
+    with peers' compute / staging), 0.0 means every drain beat
+    extended the makespan.
+    """
+    cells = {}
+    for name in VECTOR_KERNELS:
+        for variant in ("baseline", "copift"):
+            off = partition_soc_kernel(
+                kernel(name), SCALE_N, clusters, cores,
+                variant=variant).run(check=False)
+            on = partition_soc_kernel(
+                kernel(name), SCALE_N, clusters, cores,
+                variant=variant, writeback=True).run(check=False)
+            drain_beats = on.dma_bytes_written // 8
+            added = on.cycles - off.cycles
+            cells[f"{name}/{variant}"] = {
+                "cycles_off": off.cycles,
+                "cycles_writeback": on.cycles,
+                "drained_bytes": on.dma_bytes_written,
+                "added_cycles": added,
+                "overlap": round(1.0 - added / drain_beats, 3),
+            }
+    return cells
+
+
+@pytest.fixture(scope="module")
+def drain_bench() -> dict:
+    payload = {"n": SCALE_N, "shape": "2x4",
+               "cells": _drain_cells(2, 4)}
+    merged = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as handle:
+            merged = json.load(handle)
+    merged["writeback_drain"] = payload
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(merged, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+@pytest.mark.parametrize("name", VECTOR_KERNELS)
+def test_drain_bytes_fully_simulated(drain_bench, name):
+    """Every output byte of the DMA-bound kernels moves through the
+    engine in write-back mode (one FP64 per element)."""
+    for variant in ("baseline", "copift"):
+        cell = drain_bench["cells"][f"{name}/{variant}"]
+        assert cell["drained_bytes"] == SCALE_N * 8, (name, variant)
+
+
+@pytest.mark.parametrize("name", VECTOR_KERNELS)
+def test_drain_partially_overlaps(drain_bench, name):
+    """Chunked drains pipeline through the engine and overlap peers'
+    work: the makespan grows by less than the drain's serial beat
+    time (overlap > 0), but not for free (some cycles added)."""
+    for variant in ("baseline", "copift"):
+        cell = drain_bench["cells"][f"{name}/{variant}"]
+        assert cell["added_cycles"] > 0, (name, variant)
+        assert cell["overlap"] > 0.0, (name, variant, cell)
+
+
+def test_drain_section_written_to_bench_file(drain_bench):
+    with open(BENCH_PATH) as handle:
+        on_disk = json.load(handle)
+    assert on_disk["writeback_drain"]["cells"] == drain_bench["cells"]
+    # The other sections survive the merge.
+    assert "soc_scaling" in on_disk

@@ -7,6 +7,12 @@ interconnect starts to bite: the 4x4 SoC demands twice the link's
 bandwidth, so beat-arbitration stalls appear in ``record.soc`` while
 the compute-bound Monte Carlo kernel scales on regardless.
 
+The final ``soc:4x4+wb`` backend turns on simulated output
+write-back: every core drains its results back to the shared L2
+through the same DMA/interconnect path the inputs staged in on, so
+drain traffic contends with staging reads — L2 write bytes and extra
+link stalls appear in ``record.soc``.
+
 Run with::
 
     python examples/soc_sweep.py [--jobs N]
@@ -17,7 +23,8 @@ import argparse
 from repro.api import Sweep, Workload
 
 KERNELS = ("expf", "pi_lcg")
-BACKENDS = ("core", "cluster:4", "soc:1x4", "soc:2x4", "soc:4x4")
+BACKENDS = ("core", "cluster:4", "soc:1x4", "soc:2x4", "soc:4x4",
+            "soc:4x4+wb")
 N = 4096
 
 
@@ -59,9 +66,23 @@ def main() -> None:
               f"{base.cycles / big.cycles:.2f}x (ideal 4.00x), "
               f"{stalls} beat-stall cycles on the shared L2 link")
 
+    # Drain-traffic contention: write-back doubles the DMA-bound
+    # kernel's link traffic (outputs travel back over the same link
+    # the inputs staged in on), so the shared L2 sees writes and the
+    # link sees more beat-arbitration stalls.
+    expf = workloads[0]
+    plain = indexed[(expf, "soc:4x4")]
+    wb = indexed[(expf, "soc:4x4+wb")]
+    print(f"\n{expf.kernel} on soc:4x4 with output write-back: "
+          f"{wb.soc.l2_bytes_written} B drained to L2, link stalls "
+          f"{sum(plain.soc.link_stall_cycles)} -> "
+          f"{sum(wb.soc.link_stall_cycles)}, whole-program makespan "
+          f"{plain.total_cycles} -> {wb.total_cycles} cycles")
+    assert wb.soc.l2_bytes_written > 0
+    assert sum(wb.soc.link_beats) == 2 * sum(plain.soc.link_beats)
+
     # The layering invariant, demonstrated live: one cluster over an
     # uncontended interconnect is the cluster, cycle for cycle.
-    expf = workloads[0]
     assert indexed[(expf, "soc:1x4")].cycles \
         == indexed[(expf, "cluster:4")].cycles
     print("\nsoc:1x4 is cycle-identical to cluster:4 "

@@ -10,6 +10,8 @@ Package map:
 
 * :mod:`repro.isa`     -- registers, instruction set, assembler DSL.
 * :mod:`repro.sim`     -- functional + cycle-level core model.
+* :mod:`repro.mem`     -- unified memory-traffic engine shared by the
+  cluster and SoC DMA layers (directions, beat model, stream stats).
 * :mod:`repro.cluster` -- N-core cluster: banked TCDM, DMA, barriers.
 * :mod:`repro.soc`     -- C-cluster SoC: shared L2, beat-arbitrated
   interconnect, SoC partitioning.
@@ -41,7 +43,7 @@ from .api import (
 from .eval import measure_instance, measure_kernel
 from .kernels import KERNELS, kernel
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["KERNELS", "ClusterBackend", "CoreBackend", "RunRecord",
            "SocBackend", "Sweep", "Workload", "kernel",

@@ -155,14 +155,18 @@ def artifact(name: str, help: str = "", sharded: bool = False,
             raise ValueError(f"artifact {name!r} already registered")
         # Key on dest, not name: '--foo-bar' and '--foo_bar' are
         # distinct names but collide on the argparse attribute the
-        # dispatcher routes values by.
-        taken = {f.dest: s.name for s in REGISTRY.values()
+        # dispatcher routes values by.  Registering the *same* flag
+        # definition on several artifacts is allowed (a shared flag
+        # like --writeback); a dest claimed by a different definition
+        # is a collision.
+        taken = {f.dest: (s.name, f) for s in REGISTRY.values()
                  for f in s.flags}
         for flag in flags:
-            if flag.dest in taken:
+            if flag.dest in taken and taken[flag.dest][1] != flag:
                 raise ValueError(
                     f"extra flag {flag.name} of artifact {name!r} is "
-                    f"already registered by {taken[flag.dest]!r}"
+                    f"already registered by {taken[flag.dest][0]!r} "
+                    f"with a different definition"
                 )
         spec = ArtifactSpec(name=name, func=func, help=help,
                             sharded=sharded, aliases=tuple(aliases),
@@ -214,6 +218,43 @@ def extra_flags() -> list[tuple[ExtraFlag, "ArtifactSpec"]]:
 def bundle_names() -> list[str]:
     """Artifacts included in the ``all`` composite, in report order."""
     return [spec.name for spec in specs() if not spec.composite]
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def describe_json() -> dict:
+    """Machine-readable registry dump (for ``--list --json``).
+
+    One entry per artifact, in report order, carrying everything a
+    tool needs to drive the CLI: name, help, aliases, whether the
+    artifact honours ``--jobs`` sharding, whether it is a composite,
+    and its extra flags (name/help/metavar/default).
+    """
+    return {
+        "artifacts": [
+            {
+                "name": spec.name,
+                "help": spec.help,
+                "aliases": list(spec.aliases),
+                "sharded": spec.sharded,
+                "composite": spec.composite,
+                "flags": [
+                    {
+                        "name": flag.name,
+                        "help": flag.help,
+                        "metavar": flag.metavar,
+                        "default": _json_safe(flag.default),
+                    }
+                    for flag in spec.flags
+                ],
+            }
+            for spec in specs()
+        ],
+    }
 
 
 def describe() -> str:

@@ -13,7 +13,9 @@ A backend turns a :class:`~repro.api.workload.Workload` into a
   beat-arbitrated interconnect; the ``socscale`` artifact).
 
 Backends are named by **spec strings** — ``"core"``, ``"cluster:4"``,
-``"soc:2x4"`` — so CLIs, configs and sweep definitions can all select
+``"soc:2x4"``, with a ``+wb`` suffix selecting output write-back
+simulation (``"cluster:4+wb"``) — so CLIs, configs and sweep
+definitions can all select
 them uniformly through :func:`parse_backend`; the accepted spec forms
 are enumerated by :func:`backend_spec_forms`, which is derived from
 the same parser table :func:`parse_backend` dispatches on (so error
@@ -114,6 +116,12 @@ class ClusterBackend:
     cores: int = 8
     config: ClusterConfig | None = None
     core_config: CoreConfig | None = None
+    #: Simulate output write-back (spec suffix ``+wb``): outputs drain
+    #: to L2 through the DMA after the main region, DMA beats contend
+    #: in the TCDM bank arbiter, and the energy model prices the
+    #: engine's *measured* bytes instead of the kernels' conceptual
+    #: traffic.
+    writeback: bool = False
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -121,7 +129,8 @@ class ClusterBackend:
 
     @property
     def spec(self) -> str:
-        return f"cluster:{self.cores}"
+        suffix = "+wb" if self.writeback else ""
+        return f"cluster:{self.cores}{suffix}"
 
     def run(self, workload: Workload, check: bool = False) -> RunRecord:
         if workload.seed is not None:
@@ -135,18 +144,25 @@ class ClusterBackend:
         parted = partition_kernel(
             workload.kernel_def, workload.n, self.cores,
             variant=workload.variant, block=workload.block,
+            writeback=self.writeback,
         )
         result = parted.run(config=config,
                             core_config=self.core_config, check=check)
         region = result.region(MAIN_REGION)
         cycles = region.cycles
-        # DMA energy is priced on the kernels' *conceptual* traffic
-        # (input staging + output drain), exactly as the single-core
-        # energy model prices the same instances — the engine's
-        # measured bytes cover only the transfers the cluster actually
-        # models (staged inputs), which would make the 1-core power
-        # column disagree with Fig. 2.
-        priced_dma_bytes = sum(i.dma_bytes for i in parted.instances)
+        # With write-back off, DMA energy is priced on the kernels'
+        # *conceptual* traffic (input staging + output drain), exactly
+        # as the single-core energy model prices the same instances —
+        # the engine's measured bytes cover only the transfers the
+        # cluster actually models (staged inputs), which would make
+        # the 1-core power column disagree with Fig. 2.  With
+        # write-back on, the drain *is* simulated, so the engine's
+        # beat-accurate byte count is the authoritative activity.
+        if self.writeback:
+            priced_dma_bytes = result.dma_bytes
+        else:
+            priced_dma_bytes = sum(i.dma_bytes
+                                   for i in parted.instances)
         power = ClusterEnergyModel().report(
             region.counters, cycles, self.cores,
             n_banks=config.tcdm_banks,
@@ -177,10 +193,13 @@ class ClusterBackend:
                 tcdm_conflict_cycles=result.tcdm_conflict_cycles,
                 tcdm_bank_conflicts=tuple(result.tcdm_bank_conflicts),
                 dma_bytes=result.dma_bytes,
+                dma_bytes_read=result.dma_bytes_read,
+                dma_bytes_written=result.dma_bytes_written,
                 dma_busy_cycles=result.dma_busy_cycles,
                 barrier_count=result.barrier_count,
                 core_cycles=tuple(r.cycles
                                   for r in result.core_results),
+                writeback=self.writeback,
             ),
         )
 
@@ -195,6 +214,11 @@ class SocBackend:
     cores: int = 8
     config: SocConfig | None = None
     core_config: CoreConfig | None = None
+    #: Simulate output write-back (spec suffix ``+wb``): outputs drain
+    #: to the shared L2, drain beats contend on the interconnect and
+    #: in the TCDM bank arbiters, and DMA energy prices the channels'
+    #: measured bytes.
+    writeback: bool = False
 
     def __post_init__(self) -> None:
         if self.clusters < 1:
@@ -205,7 +229,8 @@ class SocBackend:
 
     @property
     def spec(self) -> str:
-        return f"soc:{self.clusters}x{self.cores}"
+        suffix = "+wb" if self.writeback else ""
+        return f"soc:{self.clusters}x{self.cores}{suffix}"
 
     def run(self, workload: Workload, check: bool = False) -> RunRecord:
         if workload.seed is not None:
@@ -216,6 +241,7 @@ class SocBackend:
         parted = partition_soc_kernel(
             workload.kernel_def, workload.n, self.clusters, self.cores,
             variant=workload.variant, block=workload.block,
+            writeback=self.writeback,
         )
         config = soc_config_for(parted, base=self.config)
         result = parted.run(config=config,
@@ -224,22 +250,27 @@ class SocBackend:
         cycles = region.cycles
         # Per-cluster activity priced by the cluster model over the SoC
         # makespan (every cluster is powered for the whole region); DMA
-        # energy uses the kernels' conceptual traffic, exactly as the
-        # cluster backend prices it (see ClusterBackend.run).
+        # energy uses the kernels' conceptual traffic with write-back
+        # off and each channel's measured bytes with it on, exactly as
+        # the cluster backend prices it (see ClusterBackend.run).
         model = SocEnergyModel()
         dma_active = any(i.dma_active for i in parted.instances)
         cluster_reports = []
         for cluster_result, cluster_workload in zip(
                 result.cluster_results, parted.cluster_workloads):
             cregion = cluster_result.region(MAIN_REGION)
+            if self.writeback:
+                cluster_dma_bytes = cluster_result.dma_bytes
+            else:
+                cluster_dma_bytes = sum(
+                    i.dma_bytes for i in cluster_workload.instances)
             cluster_reports.append(model.cluster_model.report(
                 cregion.counters, cycles, self.cores,
                 n_banks=config.cluster.tcdm_banks,
                 tcdm_accesses=cluster_result.tcdm_accesses,
                 tcdm_conflict_cycles=cluster_result
                 .tcdm_conflict_cycles,
-                dma_bytes=sum(i.dma_bytes
-                              for i in cluster_workload.instances),
+                dma_bytes=cluster_dma_bytes,
                 dma_transfers=cregion.counters.dma_transfers,
                 barriers=cluster_result.barrier_count,
                 dma_active=dma_active,
@@ -271,10 +302,13 @@ class SocBackend:
                 link_stall_cycles=tuple(result.link_stall_cycles),
                 l2_bytes_read=result.l2_bytes_read,
                 l2_bytes_written=result.l2_bytes_written,
+                dma_bytes_read=result.dma_bytes_read,
+                dma_bytes_written=result.dma_bytes_written,
                 cluster_cycles=tuple(result.cluster_cycles),
                 cluster_dma_stall_cycles=tuple(
                     result.cluster_dma_stall_cycles),
                 barrier_count=result.barrier_count,
+                writeback=self.writeback,
             ),
         )
 
@@ -282,6 +316,17 @@ class SocBackend:
 # ----------------------------------------------------------------------
 # spec-string parsing
 # ----------------------------------------------------------------------
+#: Write-back spec suffix: ``cluster:4+wb`` / ``soc:2x4+wb`` simulate
+#: output write-back on the named backend.
+_WB_SUFFIX = "+wb"
+
+
+def _split_writeback(text: str) -> tuple[str, bool]:
+    if text.endswith(_WB_SUFFIX):
+        return text[:-len(_WB_SUFFIX)], True
+    return text, False
+
+
 def _parse_core(text: str, spec: str, core_config, cluster_config
                 ) -> Backend | None:
     if text != "core":
@@ -291,6 +336,7 @@ def _parse_core(text: str, spec: str, core_config, cluster_config
 
 def _parse_cluster(text: str, spec: str, core_config, cluster_config
                    ) -> Backend | None:
+    text, writeback = _split_writeback(text)
     if text == "cluster":
         cores = (cluster_config or ClusterConfig()).n_cores
     elif text.startswith("cluster:"):
@@ -309,7 +355,8 @@ def _parse_cluster(text: str, spec: str, core_config, cluster_config
     else:
         return None
     return ClusterBackend(cores=cores, config=cluster_config,
-                          core_config=core_config)
+                          core_config=core_config,
+                          writeback=writeback)
 
 
 def _parse_soc(text: str, spec: str, core_config, cluster_config
@@ -318,11 +365,13 @@ def _parse_soc(text: str, spec: str, core_config, cluster_config
     # every backend form honours the same optional-config contract.
     base = SocConfig(cluster=cluster_config) \
         if cluster_config is not None else None
+    text, writeback = _split_writeback(text)
     if text == "soc":
         config = base or SocConfig()
         return SocBackend(clusters=config.n_clusters,
                           cores=config.cluster.n_cores,
-                          config=base, core_config=core_config)
+                          config=base, core_config=core_config,
+                          writeback=writeback)
     if not text.startswith("soc:"):
         return None
     shape = text.split(":", 1)[1]
@@ -344,7 +393,7 @@ def _parse_soc(text: str, spec: str, core_config, cluster_config
             f"SoC shape must be >= 1x1 in backend spec {spec!r}"
         )
     return SocBackend(clusters=clusters, cores=cores, config=base,
-                      core_config=core_config)
+                      core_config=core_config, writeback=writeback)
 
 
 #: Spec-form parser table: display form -> parser.  parse_backend tries
@@ -352,8 +401,8 @@ def _parse_soc(text: str, spec: str, core_config, cluster_config
 #: unknown-spec error enumerates exactly the forms this table accepts.
 _SPEC_PARSERS: dict[str, Callable] = {
     "core": _parse_core,
-    "cluster[:N]": _parse_cluster,
-    "soc:CxM": _parse_soc,
+    "cluster[:N][+wb]": _parse_cluster,
+    "soc:CxM[+wb]": _parse_soc,
 }
 
 
@@ -368,8 +417,10 @@ def parse_backend(spec: str, core_config: CoreConfig | None = None,
 
     Accepted forms (see :func:`backend_spec_forms`): ``"core"`` (bare
     core), ``"cluster"`` / ``"cluster:N"`` (N-core cluster) and
-    ``"soc"`` / ``"soc:CxM"`` (C clusters of M cores).  Optional
-    configs are attached to whichever backend is built.
+    ``"soc"`` / ``"soc:CxM"`` (C clusters of M cores); cluster and SoC
+    forms take an optional ``+wb`` suffix enabling output write-back
+    simulation.  Optional configs are attached to whichever backend is
+    built.
     """
     if not isinstance(spec, str):
         raise ValueError(

@@ -23,7 +23,10 @@ from ..energy import PowerReport
 #:
 #: v1: core + cluster records.
 #: v2: adds the ``soc_detail`` block (multi-cluster SoC runs).
-SCHEMA_VERSION = 2
+#: v3: per-direction DMA traffic (``dma_bytes_read`` /
+#:     ``dma_bytes_written``) and the ``writeback`` mode marker in
+#:     both detail blocks (unified memory-traffic engine).
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -35,13 +38,20 @@ class ClusterDetail:
         tcdm_accesses: Banked-TCDM grants over the whole run.
         tcdm_conflict_cycles: Total bank-conflict stall cycles.
         tcdm_bank_conflicts: Per-bank conflict cycles.
-        dma_bytes: Bytes moved by the shared DMA engine (the engine's
-            measured traffic — staged inputs only; the *priced* DMA
-            traffic in ``power`` uses the kernels' conceptual bytes,
-            exactly as the single-core energy model does).
+        dma_bytes: Bytes moved by the shared DMA engine (with
+            ``writeback`` off that is staged inputs only, and the
+            *priced* DMA traffic in ``power`` uses the kernels'
+            conceptual bytes, exactly as the single-core energy model
+            does; with ``writeback`` on the engine's measured bytes —
+            staging plus drain — are also what the energy model
+            prices).
+        dma_bytes_read: Bytes staged into the TCDM (READ direction).
+        dma_bytes_written: Bytes drained out of the TCDM (WRITE
+            direction; non-zero only with ``writeback`` on).
         dma_busy_cycles: Cycles the DMA engine was occupied.
         barrier_count: Barrier episodes completed by the cluster.
         core_cycles: Per-core elapsed cycles, in core order.
+        writeback: Whether output write-back was simulated.
     """
 
     cores: int
@@ -52,6 +62,9 @@ class ClusterDetail:
     dma_busy_cycles: int
     barrier_count: int
     core_cycles: tuple[int, ...]
+    dma_bytes_read: int = 0
+    dma_bytes_written: int = 0
+    writeback: bool = False
 
     def to_json(self) -> dict:
         return {
@@ -60,9 +73,12 @@ class ClusterDetail:
             "tcdm_conflict_cycles": self.tcdm_conflict_cycles,
             "tcdm_bank_conflicts": list(self.tcdm_bank_conflicts),
             "dma_bytes": self.dma_bytes,
+            "dma_bytes_read": self.dma_bytes_read,
+            "dma_bytes_written": self.dma_bytes_written,
             "dma_busy_cycles": self.dma_busy_cycles,
             "barrier_count": self.barrier_count,
             "core_cycles": list(self.core_cycles),
+            "writeback": self.writeback,
         }
 
     @classmethod
@@ -73,9 +89,12 @@ class ClusterDetail:
             tcdm_conflict_cycles=data["tcdm_conflict_cycles"],
             tcdm_bank_conflicts=tuple(data["tcdm_bank_conflicts"]),
             dma_bytes=data["dma_bytes"],
+            dma_bytes_read=data["dma_bytes_read"],
+            dma_bytes_written=data["dma_bytes_written"],
             dma_busy_cycles=data["dma_busy_cycles"],
             barrier_count=data["barrier_count"],
             core_cycles=tuple(data["core_cycles"]),
+            writeback=data["writeback"],
         )
 
 
@@ -91,10 +110,15 @@ class SocDetail:
             (contention on the shared link).
         l2_bytes_read: Bytes the DMA channels read from the L2.
         l2_bytes_written: Bytes written to the L2.
+        dma_bytes_read: Bytes staged into the TCDMs (READ direction,
+            summed over every cluster's channel).
+        dma_bytes_written: Bytes drained out of the TCDMs (WRITE
+            direction; non-zero only with ``writeback`` on).
         cluster_cycles: Per-cluster elapsed cycles, in cluster order.
         cluster_dma_stall_cycles: Per-cluster ``dma.wait`` fence
             stalls — where link contention reaches the cores.
         barrier_count: Barrier episodes across every cluster.
+        writeback: Whether output write-back was simulated.
     """
 
     clusters: int
@@ -106,6 +130,9 @@ class SocDetail:
     cluster_cycles: tuple[int, ...]
     cluster_dma_stall_cycles: tuple[int, ...]
     barrier_count: int
+    dma_bytes_read: int = 0
+    dma_bytes_written: int = 0
+    writeback: bool = False
 
     def to_json(self) -> dict:
         return {
@@ -115,10 +142,13 @@ class SocDetail:
             "link_stall_cycles": list(self.link_stall_cycles),
             "l2_bytes_read": self.l2_bytes_read,
             "l2_bytes_written": self.l2_bytes_written,
+            "dma_bytes_read": self.dma_bytes_read,
+            "dma_bytes_written": self.dma_bytes_written,
             "cluster_cycles": list(self.cluster_cycles),
             "cluster_dma_stall_cycles":
                 list(self.cluster_dma_stall_cycles),
             "barrier_count": self.barrier_count,
+            "writeback": self.writeback,
         }
 
     @classmethod
@@ -130,10 +160,13 @@ class SocDetail:
             link_stall_cycles=tuple(data["link_stall_cycles"]),
             l2_bytes_read=data["l2_bytes_read"],
             l2_bytes_written=data["l2_bytes_written"],
+            dma_bytes_read=data["dma_bytes_read"],
+            dma_bytes_written=data["dma_bytes_written"],
             cluster_cycles=tuple(data["cluster_cycles"]),
             cluster_dma_stall_cycles=tuple(
                 data["cluster_dma_stall_cycles"]),
             barrier_count=data["barrier_count"],
+            writeback=data["writeback"],
         )
 
 
@@ -216,12 +249,20 @@ class RunRecord:
         """
         version = data.get("schema")
         if version != SCHEMA_VERSION:
-            hint = (" (v1 predates the SoC layer and lacks "
+            hints = {
+                1: (" (v1 predates the SoC layer and lacks "
                     "'soc_detail'; re-run the artifact to regenerate "
-                    "the payload)") if version == 1 else ""
+                    "the payload)"),
+                2: (" (v2 predates the unified memory-traffic engine "
+                    "and lacks the per-direction "
+                    "'dma_bytes_read'/'dma_bytes_written' and "
+                    "'writeback' detail fields; re-run the artifact "
+                    "to regenerate the payload)"),
+            }
             raise ValueError(
                 f"RunRecord schema mismatch: payload has "
-                f"{version!r}, this build reads {SCHEMA_VERSION}{hint}"
+                f"{version!r}, this build reads {SCHEMA_VERSION}"
+                f"{hints.get(version, '')}"
             )
         p = data["power"]
         power = PowerReport(

@@ -5,12 +5,15 @@ compute cluster:
 
 * :class:`BankedTcdm` — word-interleaved bank arbitration (conflict
   stalls) layered over the flat functional memory.
-* :class:`ClusterDma` — shared L2<->TCDM tile engine with a
-  bandwidth/latency model; drives double-buffered execution.
+* :class:`ClusterDma` — shared L2<->TCDM tile engine: the cluster
+  configuration of the unified :class:`~repro.mem.TransferEngine`;
+  drives double-buffered input staging and (in write-back mode)
+  output drains.
 * :class:`ClusterMachine` — event-driven N-core driver with hardware
   barriers (``cluster.barrier``) and cluster atomics (``amoadd.w``).
 * :func:`partition_kernel` — static chunking of the six registered
-  kernels into per-core workloads.
+  kernels into per-core workloads (DMA-staged inputs, optional
+  write-back drain epilogues).
 """
 
 from .config import ClusterConfig
@@ -19,6 +22,8 @@ from .machine import ClusterMachine, ClusterRunResult
 from .partition import (
     ClusterWorkload,
     choose_block,
+    drain_outputs_via_dma,
+    output_region,
     partition_kernel,
     stage_inputs_via_dma,
 )
@@ -34,6 +39,8 @@ __all__ = [
     "ClusterWorkload",
     "DmaTransfer",
     "choose_block",
+    "drain_outputs_via_dma",
+    "output_region",
     "partition_kernel",
     "stage_inputs_via_dma",
 ]

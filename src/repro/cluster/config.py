@@ -37,6 +37,17 @@ class ClusterConfig:
         barrier_latency: Cycles from the last core's arrival to the
             barrier release reaching every core.
         model_bank_conflicts: Ablation switch for the bank arbiter.
+        writeback: Output write-back simulation mode.  When True,
+            partitioned workloads drain their vector outputs to the
+            L2 window through the DMA engine after the main region,
+            and every DMA beat — staging reads and drains alike —
+            claims TCDM bank-cycles in the arbiter, so transfer
+            traffic and core accesses contend for the same banks.
+            False (the default) keeps the historical model: inputs
+            staged with uncontended TCDM beats, output-drain bytes
+            priced conceptually by the energy model but never
+            simulated — and cycle-identical to the pre-write-back
+            goldens.
     """
 
     n_cores: int = 8
@@ -47,6 +58,7 @@ class ClusterConfig:
     dma_setup_latency: int = 16
     barrier_latency: int = 4
     model_bank_conflicts: bool = True
+    writeback: bool = False
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:

@@ -9,93 +9,34 @@ exploits).  Completion times feed the cores' memory-RAW publication
 machinery, so compute naturally overlaps in-flight transfers and stalls
 only when it outruns them.
 
-The engine also enforces the architectural TCDM capacity: a transfer
-whose scratchpad-side footprint crosses ``tcdm_size`` raises
-:class:`~repro.sim.memory.MemoryError_` (the model's equivalent of the
-interconnect's error response).
+All of that behaviour lives in the unified
+:class:`~repro.mem.TransferEngine`; :class:`ClusterDma` is the
+cluster-level *configuration* of it — standalone-cluster defaults, no
+beat arbiter (the cluster's link to its L2 window is uncontended), no
+endpoint hooks.  An enclosing SoC swaps in
+:class:`~repro.soc.machine.SocDmaChannel`, the same engine wired to
+the shared interconnect and L2.
+
+``DmaTransfer`` is the historical name of the queued-transfer record;
+it is the engine's :class:`~repro.mem.Transfer` (now carrying the
+stream :class:`~repro.mem.Direction` too).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..mem import Transfer, TransferEngine
 
-from ..sim.memory import MemoryError_
-
-
-@dataclass(frozen=True)
-class DmaTransfer:
-    """Record of one queued transfer (for reports and tests)."""
-
-    core_id: int
-    dst: int
-    src: int
-    nbytes: int
-    issue: int
-    begin: int
-    done: int
+#: Compatibility alias: the queued-transfer record predates the unified
+#: engine and was named for this module.
+DmaTransfer = Transfer
 
 
-class ClusterDma:
-    """Bandwidth/latency model of the shared cluster DMA engine."""
+class ClusterDma(TransferEngine):
+    """The shared cluster DMA engine: a bare, uncontended
+    :class:`~repro.mem.TransferEngine`."""
 
     def __init__(self, bandwidth: int = 8, setup_latency: int = 16,
                  tcdm_size: int | None = None) -> None:
-        self.bandwidth = bandwidth
-        self.setup_latency = setup_latency
-        self.tcdm_size = tcdm_size
-        self.transfers: list[DmaTransfer] = []
-        self._free_at = 0
-        self._core_done: dict[int, int] = {}
-        self.bytes_moved = 0
-        self.busy_cycles = 0
-
-    # ------------------------------------------------------------------
-    def _check_tcdm_bounds(self, addr: int, nbytes: int) -> None:
-        """Reject scratchpad-side footprints overrunning the TCDM."""
-        if self.tcdm_size is None:
-            return
-        if addr < self.tcdm_size and addr + nbytes > self.tcdm_size:
-            raise MemoryError_(
-                f"DMA transfer of {nbytes} bytes at 0x{addr:x} overruns "
-                f"the TCDM capacity of 0x{self.tcdm_size:x} bytes"
-            )
-
-    def _completion(self, begin: int, nbytes: int) -> int:
-        """Cycle the last beat of a transfer starting at *begin* lands.
-
-        The base engine moves ``bandwidth`` bytes per cycle after the
-        setup latency; SoC channels override this to arbitrate each
-        beat through the shared L2 interconnect.
-        """
-        return begin + self.setup_latency + -(-nbytes // self.bandwidth)
-
-    def start(self, core_id: int, dst: int, src: int, nbytes: int,
-              now: int) -> int:
-        """Queue a transfer issued at *now*; returns its completion cycle."""
-        if nbytes < 0:
-            raise MemoryError_(f"negative DMA length {nbytes}")
-        self._check_tcdm_bounds(dst, nbytes)
-        self._check_tcdm_bounds(src, nbytes)
-        begin = max(now, self._free_at)
-        done = self._completion(begin, nbytes)
-        duration = done - begin
-        self._free_at = done
-        self.busy_cycles += duration
-        self.bytes_moved += nbytes
-        prev = self._core_done.get(core_id, 0)
-        self._core_done[core_id] = max(prev, done)
-        self.transfers.append(DmaTransfer(
-            core_id=core_id, dst=dst, src=src, nbytes=nbytes,
-            issue=now, begin=begin, done=done,
-        ))
-        return done
-
-    def core_drain_time(self, core_id: int) -> int:
-        """Cycle when every transfer started by *core_id* has completed
-        (the ``dma.wait`` fence)."""
-        return self._core_done.get(core_id, 0)
-
-    @property
-    def drain_time(self) -> int:
-        """Cycle when the whole engine goes idle."""
-        return self._free_at
+        super().__init__(bandwidth=bandwidth,
+                         setup_latency=setup_latency,
+                         tcdm_size=tcdm_size)

@@ -53,6 +53,9 @@ class ClusterRunResult:
         tcdm_conflict_cycles: Total bank-conflict stall cycles.
         tcdm_bank_conflicts: Per-bank conflict cycles.
         dma_bytes: Bytes moved by the shared DMA engine.
+        dma_bytes_read: Bytes staged into the TCDM (READ direction).
+        dma_bytes_written: Bytes drained out of the TCDM (WRITE
+            direction; non-zero only in write-back simulation mode).
         dma_busy_cycles: Cycles the DMA engine was occupied.
         barrier_count: Barrier episodes completed by the cluster.
     """
@@ -64,6 +67,8 @@ class ClusterRunResult:
     tcdm_conflict_cycles: int = 0
     tcdm_bank_conflicts: list[int] = field(default_factory=list)
     dma_bytes: int = 0
+    dma_bytes_read: int = 0
+    dma_bytes_written: int = 0
     dma_busy_cycles: int = 0
     barrier_count: int = 0
 
@@ -108,6 +113,11 @@ class ClusterMachine:
             setup_latency=self.config.dma_setup_latency,
             tcdm_size=self.config.tcdm_size,
         )
+        if self.config.writeback:
+            # Write-back simulation: every DMA beat claims its TCDM
+            # bank-cycles, so transfer traffic (staging reads and
+            # output drains) contends with core accesses.
+            self.dma.attach_tcdm(self.tcdm)
         self.cores: list[Machine] = []
         self._programs: list[Program] = []
         self.barrier_count = 0
@@ -227,6 +237,8 @@ class ClusterMachine:
             tcdm_bank_conflicts=[s.conflict_cycles
                                  for s in self.tcdm.stats],
             dma_bytes=self.dma.bytes_moved,
+            dma_bytes_read=self.dma.bytes_read,
+            dma_bytes_written=self.dma.bytes_written,
             dma_busy_cycles=self.dma.busy_cycles,
             barrier_count=self.barrier_count,
         )

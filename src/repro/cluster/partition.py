@@ -27,13 +27,21 @@ from dataclasses import dataclass, replace
 from ..isa.program import Program, ProgramBuilder
 from ..kernels.common import KernelInstance
 from ..kernels.registry import KernelDef
+from ..mem import L2_WINDOW_BASE
 from ..sim.config import CoreConfig
 from .config import ClusterConfig
 from .machine import ClusterMachine, ClusterRunResult
 
 #: Simulated L2 window inside each core's memory image (the flat image
-#: doubles as the global address space: TCDM low, L2 high).
-L2_BASE = 1 << 19
+#: doubles as the global address space: TCDM low, L2 high).  Owned by
+#: the unified traffic engine (:mod:`repro.mem`); re-exported here
+#: under its historical name.
+L2_BASE = L2_WINDOW_BASE
+
+#: Drain window inside the per-core L2 address space: output write-back
+#: lands here, above the staged-input window, so one core image can
+#: hold both without overlap.
+L2_DRAIN_BASE = L2_BASE + (1 << 18)
 
 #: Per-core seed spacing for chunked PRNG/vector-input generation.
 _SEED_STRIDE = 9973
@@ -115,6 +123,70 @@ def stage_inputs_via_dma(instance: KernelInstance,
     return replace(instance, program=program, notes=notes)
 
 
+def output_region(instance: KernelInstance) -> tuple[int, int] | None:
+    """``(addr, nbytes)`` of the kernel's vector output, if it has one.
+
+    Kernels register their output region explicitly through the
+    ``out_region`` note; older builds are resolved from the historical
+    ``y_addr``/``out_addr`` notes (one FP64 element per problem
+    element).  Monte Carlo kernels reduce to scalars and have nothing
+    to drain — they return ``None``.
+    """
+    region = instance.notes.get("out_region")
+    if region is not None:
+        addr, nbytes = region
+        return (addr, nbytes)
+    for key in ("y_addr", "out_addr"):
+        if key in instance.notes:
+            return (instance.notes[key], 8 * instance.n)
+    return None
+
+
+def drain_outputs_via_dma(instance: KernelInstance,
+                          l2_base: int = L2_DRAIN_BASE,
+                          tile_elems: int = 64) -> KernelInstance:
+    """Rebuild *instance* with its output array DMA-drained to L2.
+
+    Appends a write-back epilogue after the main region: one
+    ``dma.start`` per ``tile_elems``-element tile moving the output
+    region into the L2 drain window (chunked, so tiles pipeline
+    through the engine and overlap other cores' compute), closed by a
+    ``dma.wait`` fence so the program's makespan covers the drain.
+    The epilogue issues once the integer core reaches it; FP results
+    are functionally committed in program order, so the drained bytes
+    are exact while the drain's *timing* overlaps the tail of the FP
+    pipeline — the same approximation input staging makes in the
+    other direction.
+    """
+    region = output_region(instance)
+    if region is None:
+        raise ValueError(
+            f"kernel {instance.name} has no drainable outputs "
+            f"(no out_region/y_addr/out_addr note)"
+        )
+    out_addr, nbytes = region
+    tile = 8 * tile_elems
+    epilogue = ProgramBuilder()
+    offset = 0
+    current_len = None
+    while offset < nbytes:
+        length = min(tile, nbytes - offset)
+        epilogue.li("t0", l2_base + offset)
+        epilogue.li("t1", out_addr + offset)
+        if length != current_len:
+            epilogue.li("t2", length)
+            current_len = length
+        epilogue.dma_start("t0", "t1", "t2")
+        offset += length
+    epilogue.dma_wait()
+    program = _append(instance.program, epilogue._instructions)
+    notes = dict(instance.notes)
+    notes["dma_drained"] = True
+    notes["drain_region"] = (l2_base, nbytes)
+    notes["drain_src"] = out_addr
+    return replace(instance, program=program, notes=notes)
+
+
 @dataclass
 class ClusterWorkload:
     """One kernel, one variant, statically chunked over N cores."""
@@ -125,6 +197,10 @@ class ClusterWorkload:
     n_cores: int
     block: int | None
     instances: list[KernelInstance]
+    #: Whether the instances carry write-back drain epilogues; the
+    #: runner syncs :attr:`ClusterConfig.writeback` to it so the DMA
+    #: beats also contend in the bank arbiter.
+    writeback: bool = False
 
     def run(self, config: ClusterConfig | None = None,
             core_config: CoreConfig | None = None,
@@ -134,6 +210,8 @@ class ClusterWorkload:
         config = config or ClusterConfig()
         if config.n_cores != self.n_cores:
             config = replace(config, n_cores=self.n_cores)
+        if config.writeback != self.writeback:
+            config = replace(config, writeback=self.writeback)
         cluster = ClusterMachine(config=config, core_config=core_config)
         for instance in self.instances:
             cluster.add_core(instance.program, instance.memory)
@@ -141,14 +219,37 @@ class ClusterWorkload:
         if check:
             for instance, machine in zip(self.instances, cluster.cores):
                 instance.verify(instance.memory, machine)
+                verify_drained(instance)
         return result
+
+
+def verify_drained(instance: KernelInstance) -> None:
+    """Check a drained instance's L2 window copy of its outputs.
+
+    The write-back epilogue's functional copy is applied in program
+    order, so this asserts the *wiring* — addresses, lengths, the
+    region actually drained — matches the output region the kernel
+    registered.
+    """
+    if not instance.notes.get("dma_drained"):
+        return
+    drain_base, nbytes = instance.notes["drain_region"]
+    out_addr = instance.notes["drain_src"]
+    data = instance.memory.data
+    if bytes(data[drain_base:drain_base + nbytes]) \
+            != bytes(data[out_addr:out_addr + nbytes]):
+        raise AssertionError(
+            f"{instance.name}: L2 drain window diverged from the "
+            f"TCDM output region"
+        )
 
 
 def partition_kernel(kernel_def: KernelDef, n: int, n_cores: int,
                      variant: str = "baseline",
                      block: int | None = None,
                      stage_dma: bool | None = None,
-                     first_core: int = 0) -> ClusterWorkload:
+                     first_core: int = 0,
+                     writeback: bool = False) -> ClusterWorkload:
     """Chunk one registered kernel over *n_cores* cores.
 
     Args:
@@ -161,11 +262,18 @@ def partition_kernel(kernel_def: KernelDef, n: int, n_cores: int,
             engine.  None (default) enables staging exactly for the
             kernels whose single-core instances already account DMA
             activity (``expf``/``logf``) when the cluster has more
-            than one core.
+            than one core — or at any core count in write-back mode,
+            which simulates the kernel's full conceptual traffic.
         first_core: Global index of this cluster's first core.  The
             SoC partitioner passes ``cluster * n_cores`` so per-core
             seeds stay unique across the whole SoC; global core 0
             always keeps the builder's default seed.
+        writeback: Simulate output write-back: every core with a
+            registered output region (:func:`output_region`) drains
+            it to the L2 window through the DMA engine after the main
+            region, and the cluster runs with
+            :attr:`ClusterConfig.writeback` so DMA beats contend in
+            the TCDM bank arbiter.
     """
     if variant not in ("baseline", "copift"):
         raise ValueError(f"unknown variant {variant!r}")
@@ -192,14 +300,24 @@ def partition_kernel(kernel_def: KernelDef, n: int, n_cores: int,
         else:
             instance = kernel_def.build_copift(chunk, block=chunk_block,
                                                **kwargs)
+        # Write-back mode simulates *all* of the kernel's conceptual
+        # traffic, so staging is enabled even at one core there —
+        # otherwise the measured bytes the energy model prices would
+        # miss the input half at n_cores=1 (where the default model
+        # keeps the bare-Machine cycle identity instead).
         dma = stage_dma if stage_dma is not None \
-            else (instance.dma_active and n_cores > 1)
+            else (instance.dma_active and (n_cores > 1 or writeback))
         if dma:
             if "inputs" not in instance.notes:
                 raise ValueError(
                     f"kernel {kernel_def.name} has no stageable inputs"
                 )
             instance = stage_inputs_via_dma(
+                instance,
+                tile_elems=chunk_block or min(64, chunk),
+            )
+        if writeback and output_region(instance) is not None:
+            instance = drain_outputs_via_dma(
                 instance,
                 tile_elems=chunk_block or min(64, chunk),
             )
@@ -215,5 +333,5 @@ def partition_kernel(kernel_def: KernelDef, n: int, n_cores: int,
 
     return ClusterWorkload(
         name=kernel_def.name, variant=variant, n=n, n_cores=n_cores,
-        block=chunk_block, instances=instances,
+        block=chunk_block, instances=instances, writeback=writeback,
     )

@@ -23,15 +23,20 @@ Arbitration granularity follows the core model's structure:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..mem import StreamStats, stat_alias
 
 
-@dataclass
-class BankStats:
-    """Per-bank activity: grants and conflict cycles."""
+class BankStats(StreamStats):
+    """Per-bank activity — the TCDM's view of the shared
+    :class:`~repro.mem.StreamStats` shape.
 
-    accesses: int = 0
-    conflict_cycles: int = 0
+    ``accesses`` and ``conflict_cycles`` are the historical names for
+    ``grants`` and ``stall_cycles``; they alias the same storage, so
+    the two spellings can never diverge.
+    """
+
+    accesses = stat_alias("grants")
+    conflict_cycles = stat_alias("stall_cycles")
 
 
 class BankedTcdm:
@@ -75,15 +80,22 @@ class BankedTcdm:
 
     # ------------------------------------------------------------------
     def access(self, core_id: int, addr: int, nbytes: int,
-               cycle: int) -> int:
+               cycle: int, requestor: int | None = None) -> int:
         """Arbitrate one access; returns the grant cycle (>= *cycle*).
 
-        Claims every touched bank at the grant cycle for *core_id*.
-        Banks already claimed by the same core at a cycle do not block
-        (the core's own port is serialized upstream).
+        Claims every touched bank at the grant cycle.  Banks already
+        claimed by the same *requestor* at a cycle do not block (the
+        requestor's own port is serialized upstream); the requestor
+        defaults to *core_id* — the common case of a core's LSU/SSR
+        port.  The DMA engine passes its own requestor id
+        (:data:`~repro.mem.DMA_REQUESTOR`) while keeping *core_id* for
+        the bank mapping, so its beats conflict with every core's
+        accesses, including the issuing core's.
         """
         if not self.enabled:
             return cycle
+        if requestor is None:
+            requestor = core_id
         words = self._banks_touched(core_id, addr, nbytes)
         n = self.n_banks
         claims = self._claims
@@ -91,7 +103,7 @@ class BankedTcdm:
         while True:
             for w in words:
                 owner = claims[w % n].get(grant)
-                if owner is not None and owner != core_id:
+                if owner is not None and owner != requestor:
                     grant += 1
                     break
             else:
@@ -99,11 +111,11 @@ class BankedTcdm:
         delay = grant - cycle
         for w in words:
             bank = w % n
-            claims[bank][grant] = core_id
+            claims[bank][grant] = requestor
             self._claim_count += 1
             stats = self.stats[bank]
-            stats.accesses += 1
-            stats.conflict_cycles += delay
+            stats.grants += 1
+            stats.stall_cycles += delay
             delay = 0  # attribute the stall to the first touched bank
         if self._claim_count > (1 << 20):
             self._prune(grant)

@@ -15,7 +15,7 @@ that fits a given L1 budget (Table I's "Max Block" column).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .partition import Partition
 

@@ -23,7 +23,7 @@ kernel and the test suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..isa.instructions import Thread

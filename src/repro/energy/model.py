@@ -158,7 +158,13 @@ class ClusterEnergyModel:
             n_banks: TCDM banks (static power).
             tcdm_accesses: Bank grants over the region.
             tcdm_conflict_cycles: Arbitration retries over the region.
-            dma_bytes: Bytes moved by the shared DMA engine.
+            dma_bytes: Bytes moved by the shared DMA engine.  Callers
+                choose the accounting mode: with output write-back
+                *off* this is the kernels' conceptual traffic (staged
+                inputs + priced-but-unsimulated drains, matching the
+                single-core model); with write-back *on* it is the
+                transfer engine's measured per-beat traffic, staging
+                and simulated drains alike.
             dma_transfers: Transfer descriptors processed.
             barriers: Barrier episodes (cluster-wide, not per core).
             dma_active: Whether the DMA engine was powered.

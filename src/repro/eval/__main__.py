@@ -2,20 +2,25 @@
 
 Usage::
 
-    python -m repro.eval --list
+    python -m repro.eval --list [--json] [--out FILE]
     python -m repro.eval table1
     python -m repro.eval fig2 [--n 4096]
     python -m repro.eval fig3 [--full] [--jobs N]
     python -m repro.eval clusterscale [--n 4096] [--cores 1,2,4,8]
-                                      [--jobs N]
+                                      [--jobs N] [--writeback on|off]
     python -m repro.eval socscale [--n 4096] [--clusters 1x4,2x4,4x4]
-                                  [--jobs N]
+                                  [--jobs N] [--writeback on|off]
     python -m repro.eval all [--out results.txt] [--json] [--jobs N]
     python -m repro.eval report --out report.md
 
+``--list`` honours ``--json``/``--out`` too, dumping the registry in
+machine-readable form for tooling.
+
 Artifacts may register **extra flags** of their own (``socscale
 --clusters``); the dispatcher pulls them from the registry and rejects
-a flag passed to an artifact that did not register it.
+a flag passed to an artifact that did not register it.  A flag may be
+shared by several artifacts (``--writeback`` belongs to both scaling
+sweeps).
 
 The subcommands are **registered artifacts** (``repro.api.artifact``):
 importing the artifact modules below fills the registry, and everything
@@ -100,18 +105,24 @@ def main(argv: list[str] | None = None) -> int:
     # Per-artifact extra flags come from the registry; the dispatcher
     # accepts them all and validates ownership after parsing, so a
     # flag given to the wrong artifact gets one clear line (same
-    # treatment as --jobs on an unsharded artifact).
-    flag_owner = {}
+    # treatment as --jobs on an unsharded artifact).  A flag may be
+    # shared by several artifacts (--writeback): it is added once and
+    # owned by all of them.
+    flag_owner: dict = {}
     for flag, owner in artifacts.extra_flags():
-        flag_owner[flag.dest] = (flag, owner)
+        entry = flag_owner.setdefault(flag.dest, (flag, []))
+        entry[1].append(owner)
+    for flag, owners in flag_owner.values():
+        names = "/".join(o.name for o in owners)
         parser.add_argument(flag.name, type=flag.parse,
                             default=flag.default, metavar=flag.metavar,
-                            help=f"{flag.help} ({owner.name} only)")
+                            help=f"{flag.help} ({names} only)")
     args = parser.parse_args(argv)
 
     if args.list_:
-        print("registered artifacts:")
-        print(artifacts.describe())
+        text = "registered artifacts:\n" + artifacts.describe()
+        write_output(text, artifacts.describe_json(), args.out,
+                     args.json)
         return 0
     if args.artifact is None:
         parser.error("an artifact name is required (see --list)")
@@ -130,14 +141,19 @@ def main(argv: list[str] | None = None) -> int:
         )
     own_dests = {flag.dest for flag in spec.flags}
     extras = {}
-    for dest, (flag, owner) in flag_owner.items():
+    for dest, (flag, owners) in flag_owner.items():
         value = getattr(args, dest)
         if dest in own_dests:
             extras[dest] = value
         elif value != flag.default:
+            if len(owners) == 1:
+                where = f"artifact {owners[0].name!r}"
+            else:
+                where = "artifacts " + ", ".join(
+                    repr(o.name) for o in owners)
             parser.error(
-                f"{flag.name} applies to artifact {owner.name!r} "
-                f"only; artifact {args.artifact!r} does not take it"
+                f"{flag.name} applies to {where} only; artifact "
+                f"{args.artifact!r} does not take it"
             )
 
     request = ArtifactRequest(n=args.n, full=args.full,

@@ -18,12 +18,14 @@ the sequential one.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 
 from ..api import (
     ArtifactRequest,
     ArtifactResult,
     ClusterBackend,
+    ExtraFlag,
     RunRecord,
     Sweep,
     Workload,
@@ -34,6 +36,29 @@ from ..kernels.registry import KERNELS
 from ..sim import CoreConfig
 
 DEFAULT_CORES = (1, 2, 4, 8)
+
+
+def parse_onoff(text: str) -> bool:
+    """Parse an ``on``/``off`` flag value."""
+    value = text.strip().lower()
+    if value in ("on", "1", "true", "yes"):
+        return True
+    if value in ("off", "0", "false", "no"):
+        return False
+    raise argparse.ArgumentTypeError(
+        f"expected on|off, got {text!r}"
+    )
+
+
+#: Shared by ``clusterscale`` and ``socscale`` (one definition, two
+#: owners — the registry accepts identical flags on several artifacts).
+WRITEBACK_FLAG = ExtraFlag(
+    "--writeback",
+    help="simulate output write-back: drain kernel outputs to L2 "
+         "through the DMA, contending in the TCDM bank arbiter "
+         "(and SoC interconnect) like staging reads (default off)",
+    parse=parse_onoff, default=False, metavar="on|off",
+)
 
 
 @dataclass(frozen=True)
@@ -48,6 +73,11 @@ class ScalePoint:
     dma_bytes: int
     barrier_count: int
     power_mw: float
+    #: Per-direction engine traffic (populated in write-back mode;
+    #: kept out of the default payload so pre-write-back goldens stay
+    #: byte-identical).
+    dma_bytes_read: int = 0
+    dma_bytes_written: int = 0
 
 
 @dataclass(frozen=True)
@@ -70,6 +100,7 @@ class ClusterScaleData:
     rows: tuple[ScaleRow, ...]
     n: int
     cores: tuple[int, ...]
+    writeback: bool = False
 
     def row(self, name: str, variant: str) -> ScaleRow:
         for r in self.rows:
@@ -81,14 +112,17 @@ class ClusterScaleData:
 def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
              config: ClusterConfig | None = None,
              core_config: CoreConfig | None = None,
-             check: bool = False, jobs: int = 1) -> ClusterScaleData:
+             check: bool = False, jobs: int = 1,
+             writeback: bool = False) -> ClusterScaleData:
     """Run the full scaling sweep.
 
     *cores* is normalized to ascending unique counts; speedups are
     relative to the smallest swept count (1 in the default sweep).
     With ``jobs > 1`` the (kernel x variant x core-count) cells are
     sharded over host processes; results are merged in sweep order, so
-    the output is identical to a sequential run.
+    the output is identical to a sequential run.  With ``writeback``
+    the vector kernels drain their outputs back to L2 through the DMA
+    engine and every transfer beat contends in the TCDM bank arbiter.
     """
     cores = tuple(sorted(set(cores)))
     base_config = config or ClusterConfig()
@@ -99,7 +133,7 @@ def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
     ]
     backends = [
         ClusterBackend(cores=n_cores, config=base_config,
-                       core_config=core_config)
+                       core_config=core_config, writeback=writeback)
         for n_cores in cores
     ]
     sweep = Sweep(workloads, backends=backends)
@@ -126,18 +160,22 @@ def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
                     dma_bytes=detail.dma_bytes,
                     barrier_count=detail.barrier_count,
                     power_mw=record.power_mw,
+                    dma_bytes_read=detail.dma_bytes_read,
+                    dma_bytes_written=detail.dma_bytes_written,
                 ))
             rows.append(ScaleRow(kernel_def.name, variant,
                                  tuple(points)))
-    return ClusterScaleData(tuple(rows), n=n, cores=tuple(cores))
+    return ClusterScaleData(tuple(rows), n=n, cores=tuple(cores),
+                            writeback=writeback)
 
 
 def render(data: ClusterScaleData) -> str:
     """Text table: cycles and speedup per core count."""
     base_cores = data.cores[0]
+    mode = " with simulated output write-back" if data.writeback else ""
     lines = [
         f"Cluster scaling: {data.n} elements/samples over "
-        f"{'/'.join(str(c) for c in data.cores)} cores",
+        f"{'/'.join(str(c) for c in data.cores)} cores{mode}",
         f"(speedup vs the {base_cores}-core run of the same variant; "
         "S = speedup, E = efficiency)",
     ]
@@ -172,37 +210,49 @@ def render(data: ClusterScaleData) -> str:
 
 
 def clusterscale_payload(data: ClusterScaleData) -> dict:
-    return {
+    # The write-back fields ride along only when the mode is on, so a
+    # default sweep's payload stays byte-identical to pre-write-back
+    # goldens.
+    def point_json(p: ScalePoint) -> dict:
+        entry = {
+            "cores": p.cores,
+            "cycles": p.cycles,
+            "speedup": p.speedup,
+            "efficiency": p.efficiency,
+            "tcdm_conflict_cycles": p.tcdm_conflict_cycles,
+            "dma_bytes": p.dma_bytes,
+            "barrier_count": p.barrier_count,
+            "power_mw": p.power_mw,
+        }
+        if data.writeback:
+            entry["dma_bytes_read"] = p.dma_bytes_read
+            entry["dma_bytes_written"] = p.dma_bytes_written
+        return entry
+
+    payload = {
         "n": data.n,
         "cores": list(data.cores),
         "rows": [
             {
                 "kernel": row.name,
                 "variant": row.variant,
-                "points": [
-                    {
-                        "cores": p.cores,
-                        "cycles": p.cycles,
-                        "speedup": p.speedup,
-                        "efficiency": p.efficiency,
-                        "tcdm_conflict_cycles": p.tcdm_conflict_cycles,
-                        "dma_bytes": p.dma_bytes,
-                        "barrier_count": p.barrier_count,
-                        "power_mw": p.power_mw,
-                    }
-                    for p in row.points
-                ],
+                "points": [point_json(p) for p in row.points],
             }
             for row in data.rows
         ],
     }
+    if data.writeback:
+        payload["writeback"] = True
+    return payload
 
 
 @artifact("clusterscale", sharded=True, order=40,
-          help="1/2/4/8-core cluster scaling of every kernel")
+          help="1/2/4/8-core cluster scaling of every kernel",
+          flags=(WRITEBACK_FLAG,))
 def clusterscale_artifact(request: ArtifactRequest) -> ArtifactResult:
     data = generate(n=request.effective_n(4096),
                     cores=request.effective_cores(DEFAULT_CORES),
-                    jobs=request.jobs)
+                    jobs=request.jobs,
+                    writeback=request.extra("writeback", False))
     return ArtifactResult("clusterscale", render(data),
                           clusterscale_payload(data))

@@ -10,6 +10,7 @@ older callers (and the figure artifacts' paired-variant views) consume.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..api.backend import record_from_instance
@@ -100,11 +101,26 @@ class KernelMeasurement:
         )
 
 
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.eval.{name} is deprecated; use the unified experiment "
+        f"API instead ({replacement})",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
 def measure_instance(instance: KernelInstance,
                      config: CoreConfig | None = None,
                      energy_model: EnergyModel | None = None,
                      check: bool = True) -> VariantMeasurement:
-    """Run one kernel instance and reduce it to steady-state numbers."""
+    """Run one kernel instance and reduce it to steady-state numbers.
+
+    .. deprecated:: 1.3
+       Use :func:`repro.api.record_from_instance` (or a
+       :class:`repro.api.CoreBackend` over a ``Workload``).
+    """
+    _warn_deprecated("measure_instance",
+                     "repro.api.record_from_instance")
     record = record_from_instance(instance, config=config,
                                   energy_model=energy_model,
                                   check=check)
@@ -116,7 +132,15 @@ def measure_kernel(kernel_def: KernelDef, n: int = 4096,
                    config: CoreConfig | None = None,
                    energy_model: EnergyModel | None = None,
                    check: bool = True) -> KernelMeasurement:
-    """Measure baseline + COPIFT variants of one kernel."""
+    """Measure baseline + COPIFT variants of one kernel.
+
+    .. deprecated:: 1.3
+       Use :class:`repro.api.Workload` pairs over
+       :class:`repro.api.CoreBackend` (see
+       :meth:`KernelMeasurement.from_records`).
+    """
+    _warn_deprecated("measure_kernel",
+                     "repro.api.Workload + repro.api.CoreBackend")
     block = block or kernel_def.default_block
     baseline = record_from_instance(
         kernel_def.build_baseline(n), config=config,

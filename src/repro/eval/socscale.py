@@ -37,6 +37,7 @@ from ..api import (
 from ..kernels.registry import KERNELS
 from ..sim import CoreConfig
 from ..soc import SocConfig
+from .clusterscale import WRITEBACK_FLAG
 
 #: Swept (clusters, cores-per-cluster) shapes.
 DEFAULT_SHAPES = ((1, 4), (2, 4), (4, 4), (2, 8))
@@ -78,6 +79,11 @@ class SocScalePoint:
     dma_stall_cycles: int
     l2_bytes: int
     power_mw: float
+    #: Per-direction engine traffic (populated in write-back mode;
+    #: kept out of the default payload so pre-write-back goldens stay
+    #: byte-identical).
+    dma_bytes_read: int = 0
+    dma_bytes_written: int = 0
 
     @property
     def total_cores(self) -> int:
@@ -109,6 +115,7 @@ class SocScaleData:
     rows: tuple[SocScaleRow, ...]
     n: int
     shapes: tuple[tuple[int, int], ...]
+    writeback: bool = False
 
     def row(self, name: str, variant: str) -> SocScaleRow:
         for r in self.rows:
@@ -121,13 +128,16 @@ def generate(n: int = 4096,
              shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
              config: SocConfig | None = None,
              core_config: CoreConfig | None = None,
-             check: bool = False, jobs: int = 1) -> SocScaleData:
+             check: bool = False, jobs: int = 1,
+             writeback: bool = False) -> SocScaleData:
     """Run the full SoC scaling sweep.
 
     Speedups are relative to the first swept shape.  With ``jobs > 1``
     the (kernel x variant x shape) cells are sharded over host
     processes; results are merged in sweep order, so the output is
-    identical to a sequential run.
+    identical to a sequential run.  With ``writeback`` the vector
+    kernels drain their outputs to the shared L2, the drain beats
+    contending on the interconnect and in the TCDM bank arbiters.
     """
     shapes = tuple(shapes)
     workloads = [
@@ -137,7 +147,7 @@ def generate(n: int = 4096,
     ]
     backends = [
         SocBackend(clusters=clusters, cores=cores, config=config,
-                   core_config=core_config)
+                   core_config=core_config, writeback=writeback)
         for clusters, cores in shapes
     ]
     sweep = Sweep(workloads, backends=backends)
@@ -169,19 +179,23 @@ def generate(n: int = 4096,
                     l2_bytes=detail.l2_bytes_read
                     + detail.l2_bytes_written,
                     power_mw=record.power_mw,
+                    dma_bytes_read=detail.dma_bytes_read,
+                    dma_bytes_written=detail.dma_bytes_written,
                 ))
             rows.append(SocScaleRow(kernel_def.name, variant,
                                     tuple(points)))
-    return SocScaleData(tuple(rows), n=n, shapes=shapes)
+    return SocScaleData(tuple(rows), n=n, shapes=shapes,
+                        writeback=writeback)
 
 
 def render(data: SocScaleData) -> str:
     """Text table: cycles, speedup and link stalls per SoC shape."""
     base = data.shapes[0]
+    mode = " with simulated output write-back" if data.writeback else ""
     lines = [
         f"SoC scaling: {data.n} elements/samples over "
         f"{'/'.join(f'{c}x{m}' for c, m in data.shapes)} "
-        f"(clusters x cores)",
+        f"(clusters x cores){mode}",
         f"(speedup vs the {base[0]}x{base[1]} run of the same "
         "variant; S = speedup, E = efficiency)",
     ]
@@ -217,31 +231,41 @@ def render(data: SocScaleData) -> str:
 
 
 def socscale_payload(data: SocScaleData) -> dict:
-    return {
+    # The write-back fields ride along only when the mode is on, so a
+    # default sweep's payload stays byte-identical to pre-write-back
+    # goldens.
+    def point_json(p: SocScalePoint) -> dict:
+        entry = {
+            "clusters": p.clusters,
+            "cores": p.cores,
+            "cycles": p.cycles,
+            "speedup": p.speedup,
+            "efficiency": p.efficiency,
+            "link_stall_cycles": p.link_stall_cycles,
+            "dma_stall_cycles": p.dma_stall_cycles,
+            "l2_bytes": p.l2_bytes,
+            "power_mw": p.power_mw,
+        }
+        if data.writeback:
+            entry["dma_bytes_read"] = p.dma_bytes_read
+            entry["dma_bytes_written"] = p.dma_bytes_written
+        return entry
+
+    payload = {
         "n": data.n,
         "shapes": [list(s) for s in data.shapes],
         "rows": [
             {
                 "kernel": row.name,
                 "variant": row.variant,
-                "points": [
-                    {
-                        "clusters": p.clusters,
-                        "cores": p.cores,
-                        "cycles": p.cycles,
-                        "speedup": p.speedup,
-                        "efficiency": p.efficiency,
-                        "link_stall_cycles": p.link_stall_cycles,
-                        "dma_stall_cycles": p.dma_stall_cycles,
-                        "l2_bytes": p.l2_bytes,
-                        "power_mw": p.power_mw,
-                    }
-                    for p in row.points
-                ],
+                "points": [point_json(p) for p in row.points],
             }
             for row in data.rows
         ],
     }
+    if data.writeback:
+        payload["writeback"] = True
+    return payload
 
 
 @artifact("socscale", sharded=True, order=45,
@@ -250,10 +274,12 @@ def socscale_payload(data: SocScaleData) -> dict:
               "--clusters",
               help="SoC shapes to sweep, comma-separated CxM "
                    "(clusters x cores; default 1x4,2x4,4x4,2x8)",
-              parse=parse_shapes, metavar="C1xM1,C2xM2,..."),))
+              parse=parse_shapes, metavar="C1xM1,C2xM2,..."),
+              WRITEBACK_FLAG))
 def socscale_artifact(request: ArtifactRequest) -> ArtifactResult:
     data = generate(n=request.effective_n(4096),
                     shapes=request.extra("clusters", DEFAULT_SHAPES),
-                    jobs=request.jobs)
+                    jobs=request.jobs,
+                    writeback=request.extra("writeback", False))
     return ArtifactResult("socscale", render(data),
                           socscale_payload(data))

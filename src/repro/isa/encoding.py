@@ -21,8 +21,7 @@ ours are documented below and round-trip by construction).
 from __future__ import annotations
 
 from .instructions import OpClass, spec as get_spec
-from .program import Instruction, Program, ProgramBuilder, \
-    make_instruction
+from .program import Instruction, Program, make_instruction
 from .registers import FP_REGS, INT_REGS
 
 # Major opcodes (RISC-V base + the extension spaces we use).

@@ -77,6 +77,7 @@ def build_copift(n: int, block: int = 64, seed: int = 99,
         dma_active=True, dma_bytes=8 * n,
         verify=verify,
         notes={"out_addr": out_addr,
+               "out_region": (out_addr, 8 * n),
                "fp_body_length": build.fp_body_length},
     )
 
@@ -116,5 +117,7 @@ def build_baseline(n: int, seed: int = 99,
         name="dither", variant="baseline", program=b.build(),
         memory=memory, n=n, block=None,
         dma_active=True, dma_bytes=8 * n,
-        verify=verify, notes={"out_addr": out_addr},
+        verify=verify,
+        notes={"out_addr": out_addr,
+               "out_region": (out_addr, 8 * n)},
     )

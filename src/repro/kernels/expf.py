@@ -28,12 +28,12 @@ import math
 import numpy as np
 
 from ..isa.program import ProgramBuilder
-from ..sim import Allocator, Machine, Memory
+from ..sim import Allocator, Memory
 from ..sim.ssr import (
     F_BOUND0, F_BOUND1, F_RPTR, F_STATUS, F_STRIDE0, F_STRIDE1, F_WPTR,
     encode_cfg_imm,
 )
-from .common import KernelInstance, MAIN_REGION, load_f64_constants
+from .common import KernelInstance, load_f64_constants
 
 #: Table size: 2^5 entries, as in glibc's expf.
 TABLE_BITS = 5
@@ -177,7 +177,8 @@ def build_baseline(n: int, seed: int = 7) -> KernelInstance:
         memory=memory, n=n, block=None,
         dma_active=True, dma_bytes=16 * n,
         verify=lambda mem, machine: _verify(mem, y_addr, x),
-        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x},
+        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x,
+               "out_region": (y_addr, 8 * n)},
     )
 
 
@@ -428,5 +429,6 @@ def build_copift(n: int, block: int = 64, seed: int = 7) -> KernelInstance:
         memory=memory, n=n, block=block,
         dma_active=True, dma_bytes=16 * n,
         verify=lambda mem, machine: _verify(mem, y_addr, x),
-        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x},
+        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x,
+               "out_region": (y_addr, 8 * n)},
     )

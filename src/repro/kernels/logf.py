@@ -160,7 +160,8 @@ def build_baseline(n: int, seed: int = 11) -> KernelInstance:
         memory=memory, n=n, block=None,
         dma_active=True, dma_bytes=16 * n,
         verify=lambda mem, machine: _verify(mem, y_addr, x),
-        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x},
+        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x,
+               "out_region": (y_addr, 8 * n)},
     )
 
 
@@ -316,5 +317,6 @@ def build_copift(n: int, block: int = 64, seed: int = 11) -> KernelInstance:
         memory=memory, n=n, block=block,
         dma_active=True, dma_bytes=16 * n,
         verify=lambda mem, machine: _verify(mem, y_addr, x),
-        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x},
+        notes={"x_addr": x_addr, "y_addr": y_addr, "inputs": x,
+               "out_region": (y_addr, 8 * n)},
     )

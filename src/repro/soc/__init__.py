@@ -5,11 +5,14 @@ an SoC sharing one L2 behind a bandwidth-limited interconnect:
 
 * :class:`SocInterconnect` — cycle-by-cycle beat arbitration between
   the per-cluster DMA channels and the shared L2 link (round-robin
-  fairness cap, per-link stats mirroring the TCDM's ``BankStats``).
+  fairness cap, per-link stats sharing the TCDM arbiter's
+  :class:`~repro.mem.StreamStats` shape).
 * :class:`L2Memory` — the shared staging store: bump allocator,
   capacity enforcement, read/write traffic accounting.
-* :class:`SocDmaChannel` — a cluster DMA engine whose beats are
-  granted by the interconnect instead of landing one per cycle.
+* :class:`SocDmaChannel` — the SoC configuration of the unified
+  :class:`~repro.mem.TransferEngine`: beats granted by the
+  interconnect instead of landing one per cycle, L2 endpoints tallied
+  on the shared store.
 * :class:`SocMachine` — event-driven C-cluster driver stepping the
   laggard cluster first, exactly as a cluster steps its cores.
 * :func:`partition_soc_kernel` — static chunking of the six registered

@@ -11,23 +11,25 @@ Like the banked-TCDM arbiter this is a claim-table model: requests are
 serviced first-come-first-served in *simulation* order, and the SoC
 driver steps the cluster furthest behind in time first, so claim order
 tracks cycle order closely (exact for lock-step clusters).  Per-link
-statistics mirror :class:`~repro.cluster.tcdm.BankStats`: granted beats
-and the stall cycles contention added versus each cluster's own
-uncontended schedule.
+statistics share the :class:`~repro.mem.StreamStats` shape with the
+banked-TCDM arbiter: granted beats and the stall cycles contention
+added versus each cluster's own uncontended schedule.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..mem import StreamStats, stat_alias
 
 
-@dataclass
-class LinkStats:
-    """Per-cluster link activity: beats, transfers and stall cycles."""
+class LinkStats(StreamStats):
+    """Per-cluster link activity — the interconnect's view of the
+    shared :class:`~repro.mem.StreamStats` shape.
 
-    beats: int = 0
-    transfers: int = 0
-    stall_cycles: int = 0
+    ``beats`` is the historical name for ``grants``; it aliases the
+    same storage, so the two spellings can never diverge.
+    """
+
+    beats = stat_alias("grants")
 
 
 class SocInterconnect:

@@ -26,9 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..cluster.dma import ClusterDma
 from ..cluster.machine import ClusterMachine, ClusterRunResult
 from ..cluster.partition import L2_BASE
+from ..mem import Transfer, TransferEngine
 from ..sim.config import CoreConfig
 from ..sim.counters import Counters, RegionMeasurement
 from .config import SocConfig
@@ -47,16 +47,24 @@ def _sum_counters(parts: list[Counters]) -> Counters:
     return total
 
 
-class SocDmaChannel(ClusterDma):
+class SocDmaChannel(TransferEngine):
     """One cluster's DMA engine with its beats arbitrated SoC-wide.
 
-    Same engine model as :class:`ClusterDma` (program-order transfers,
-    per-transfer setup latency, ``bandwidth`` bytes per beat), but the
-    data beats are granted by the shared :class:`SocInterconnect`
-    instead of landing unconditionally one per cycle — contention from
-    other clusters stretches the transfer, and ``dma.wait`` fences
-    charge the stretch to the waiting core's ``stall_dma``.  L2-window
-    endpoints are tallied against the shared :class:`L2Memory`.
+    The SoC *configuration* of the unified
+    :class:`~repro.mem.TransferEngine` — the same engine model as
+    :class:`~repro.cluster.dma.ClusterDma` (program-order transfers,
+    per-transfer setup latency, ``bandwidth`` bytes per beat), wired
+    to the SoC's shared resources through the engine's hooks instead
+    of overriding any timing logic:
+
+    * the beat ``arbiter`` is :meth:`SocInterconnect.transfer`, so
+      data beats are granted by the shared link instead of landing
+      unconditionally one per cycle — contention from other clusters
+      stretches the transfer, and ``dma.wait`` fences charge the
+      stretch to the waiting core's ``stall_dma``;
+    * the ``on_complete`` hook tallies L2-window endpoints against the
+      shared :class:`L2Memory`;
+    * ``extra_latency`` carries the configured L2 access latency.
     """
 
     def __init__(self, cluster_id: int, interconnect: SocInterconnect,
@@ -64,28 +72,27 @@ class SocDmaChannel(ClusterDma):
                  l2_latency: int = 0,
                  l2_window_base: int = L2_BASE,
                  **kwargs) -> None:
-        super().__init__(**kwargs)
+        # l2_latency / l2_window_base live on as the engine's
+        # extra_latency / window_base — single storage, so endpoint
+        # classification and direction accounting can never diverge.
+        super().__init__(stream_id=cluster_id,
+                         arbiter=interconnect.transfer,
+                         extra_latency=l2_latency,
+                         window_base=l2_window_base,
+                         on_complete=self._note_l2,
+                         **kwargs)
         self.cluster_id = cluster_id
         self.interconnect = interconnect
         self.l2 = l2
-        self.l2_latency = l2_latency
-        self.l2_window_base = l2_window_base
 
-    def _completion(self, begin: int, nbytes: int) -> int:
-        nbeats = -(-nbytes // self.bandwidth)
-        return self.interconnect.transfer(
-            self.cluster_id, nbeats,
-            begin + self.setup_latency + self.l2_latency)
-
-    def start(self, core_id: int, dst: int, src: int, nbytes: int,
-              now: int) -> int:
-        done = super().start(core_id, dst, src, nbytes, now)
-        if self.l2 is not None:
-            if src >= self.l2_window_base:
-                self.l2.note_read(nbytes)
-            if dst >= self.l2_window_base:
-                self.l2.note_write(nbytes)
-        return done
+    def _note_l2(self, transfer: Transfer) -> None:
+        """Tally a transfer's L2-window endpoints on the shared L2."""
+        if self.l2 is None:
+            return
+        if transfer.src >= self.window_base:
+            self.l2.note_read(transfer.nbytes)
+        if transfer.dst >= self.window_base:
+            self.l2.note_write(transfer.nbytes)
 
 
 @dataclass
@@ -102,6 +109,9 @@ class SocRunResult:
         l2_bytes_read: Bytes the DMA channels read from the L2 window.
         l2_bytes_written: Bytes written to the L2 window.
         dma_bytes: Bytes moved by all cluster DMA channels.
+        dma_bytes_read: Bytes staged into the TCDMs (READ direction).
+        dma_bytes_written: Bytes drained out of the TCDMs (WRITE
+            direction; non-zero only in write-back simulation mode).
         dma_busy_cycles: Summed busy cycles of all DMA channels.
         barrier_count: Barrier episodes across every cluster.
     """
@@ -114,6 +124,8 @@ class SocRunResult:
     l2_bytes_read: int = 0
     l2_bytes_written: int = 0
     dma_bytes: int = 0
+    dma_bytes_read: int = 0
+    dma_bytes_written: int = 0
     dma_busy_cycles: int = 0
     barrier_count: int = 0
 
@@ -225,6 +237,9 @@ class SocMachine:
             l2_bytes_read=self.l2.bytes_read,
             l2_bytes_written=self.l2.bytes_written,
             dma_bytes=sum(r.dma_bytes for r in results),
+            dma_bytes_read=sum(r.dma_bytes_read for r in results),
+            dma_bytes_written=sum(r.dma_bytes_written
+                                  for r in results),
             dma_busy_cycles=sum(r.dma_busy_cycles for r in results),
             barrier_count=sum(r.barrier_count for r in results),
         )

@@ -42,6 +42,9 @@ class SocWorkload:
     n_cores: int
     block: int | None
     cluster_workloads: list[ClusterWorkload]
+    #: Whether the per-core instances carry write-back drain epilogues
+    #: (see :func:`repro.cluster.partition.partition_kernel`).
+    writeback: bool = False
 
     @property
     def instances(self) -> list[KernelInstance]:
@@ -58,10 +61,12 @@ class SocWorkload:
         config = config or SocConfig()
         if config.n_clusters != self.n_clusters:
             config = replace(config, n_clusters=self.n_clusters)
-        if config.cluster.n_cores != self.n_cores:
+        if config.cluster.n_cores != self.n_cores \
+                or config.cluster.writeback != self.writeback:
             config = replace(
                 config,
-                cluster=replace(config.cluster, n_cores=self.n_cores),
+                cluster=replace(config.cluster, n_cores=self.n_cores,
+                                writeback=self.writeback),
             )
         soc = SocMachine(config=config, core_config=core_config)
         for c, workload in enumerate(self.cluster_workloads):
@@ -70,6 +75,7 @@ class SocWorkload:
                 cluster.add_core(instance.program, instance.memory)
                 self._stage_into_l2(soc, c, m, instance)
         result = soc.run(max_steps=max_steps)
+        self._writeback_into_l2(soc)
         if check:
             self.verify(soc)
         return result
@@ -78,11 +84,40 @@ class SocWorkload:
     @staticmethod
     def _stage_into_l2(soc: SocMachine, cluster: int, core: int,
                        instance: KernelInstance) -> None:
-        """Write a staged input chunk into the shared L2 image."""
-        if not instance.notes.get("dma_staged"):
-            return
-        soc.l2.stage(f"c{cluster}/m{core}/{instance.name}",
-                     instance.notes["inputs"])
+        """Reserve a core's shared-L2 regions before the run.
+
+        Staged input chunks are written up front (the L2 is the
+        authoritative source the DMA reads from); drain regions are
+        allocated empty — capacity enforced now, bytes landing at
+        :meth:`_writeback_into_l2` time.
+        """
+        if instance.notes.get("dma_staged"):
+            soc.l2.stage(f"c{cluster}/m{core}/{instance.name}",
+                         instance.notes["inputs"])
+        if instance.notes.get("dma_drained"):
+            _, nbytes = instance.notes["drain_region"]
+            soc.l2.alloc(f"c{cluster}/m{core}/{instance.name}/out",
+                         nbytes)
+
+    def _writeback_into_l2(self, soc: SocMachine) -> None:
+        """Land every core's drained bytes in the shared L2 image.
+
+        The drain window inside each core's memory image is the data
+        path (mirroring how staging reads work in the other
+        direction); the shared L2 region is the authoritative copy
+        consumers of the SoC would read.
+        """
+        iterator = iter(self.instances)
+        for c in range(self.n_clusters):
+            for m in range(self.n_cores):
+                instance = next(iterator)
+                if not instance.notes.get("dma_drained"):
+                    continue
+                drain_base, nbytes = instance.notes["drain_region"]
+                addr, _ = soc.l2.regions[
+                    f"c{c}/m{m}/{instance.name}/out"]
+                soc.l2.memory.data[addr:addr + nbytes] = \
+                    instance.memory.data[drain_base:drain_base + nbytes]
 
     def verify(self, soc: SocMachine) -> None:
         """Check every core's results and the L2/TCDM data agreement."""
@@ -105,13 +140,30 @@ class SocWorkload:
                             f"cluster {c} core {m}: TCDM data diverged "
                             f"from the shared L2 copy"
                         )
+                if instance.notes.get("dma_drained"):
+                    # The drained L2 copy must be the outputs the core
+                    # computed (write-back made the L2 authoritative
+                    # for results too).
+                    _, nbytes = instance.notes["drain_region"]
+                    src = instance.notes["drain_src"]
+                    drained = soc.l2.region_bytes(
+                        f"c{c}/m{m}/{instance.name}/out")
+                    expect = bytes(instance.memory.data[
+                        src:src + nbytes])
+                    if drained != expect:
+                        raise AssertionError(
+                            f"cluster {c} core {m}: shared-L2 drain "
+                            f"region diverged from the computed "
+                            f"outputs"
+                        )
 
 
 def partition_soc_kernel(kernel_def: KernelDef, n: int,
                          n_clusters: int, n_cores: int,
                          variant: str = "baseline",
                          block: int | None = None,
-                         stage_dma: bool | None = None) -> SocWorkload:
+                         stage_dma: bool | None = None,
+                         writeback: bool = False) -> SocWorkload:
     """Chunk one registered kernel over *n_clusters* x *n_cores*.
 
     Args:
@@ -123,6 +175,11 @@ def partition_soc_kernel(kernel_def: KernelDef, n: int,
         block: Requested COPIFT block size (auto-shrunk per chunk).
         stage_dma: Forwarded to the cluster partitioner (None keeps
             its per-kernel default).
+        writeback: Simulate output write-back: cores drain their
+            output regions to the shared L2 through their cluster's
+            DMA channel, the drain beats contending on the SoC
+            interconnect and in the TCDM bank arbiters exactly like
+            staging reads (forwarded to the cluster partitioner).
     """
     if n_clusters < 1:
         raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
@@ -138,7 +195,8 @@ def partition_soc_kernel(kernel_def: KernelDef, n: int,
         partition_kernel(kernel_def, slice_n, n_cores,
                          variant=variant, block=block,
                          stage_dma=stage_dma,
-                         first_core=cluster * n_cores)
+                         first_core=cluster * n_cores,
+                         writeback=writeback)
         for cluster in range(n_clusters)
     ]
     return SocWorkload(
@@ -146,6 +204,7 @@ def partition_soc_kernel(kernel_def: KernelDef, n: int,
         n_clusters=n_clusters, n_cores=n_cores,
         block=cluster_workloads[0].block,
         cluster_workloads=cluster_workloads,
+        writeback=writeback,
     )
 
 

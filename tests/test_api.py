@@ -136,13 +136,13 @@ class TestBackendParsing:
             parse_backend("tpu")
         message = str(excinfo.value)
         forms = backend_spec_forms()
-        assert forms == ("core", "cluster[:N]", "soc:CxM")
+        assert forms == ("core", "cluster[:N][+wb]", "soc:CxM[+wb]")
         for form in forms:
             assert repr(form) in message
         # Every advertised form actually parses (a representative of
         # each), so the listing is live, not documentation.
         for example in ("core", "cluster", "cluster:2", "soc",
-                        "soc:2x2"):
+                        "soc:2x2", "cluster:2+wb", "soc:2x2+wb"):
             assert parse_backend(example) is not None
 
     def test_non_string_rejected(self):
@@ -255,6 +255,74 @@ class TestRunRecordSchema:
     def test_payload_is_json_primitive_only(self, cluster_record):
         # Must survive a strict dump with no default= hook.
         json.dumps(cluster_record.to_json(), allow_nan=False)
+
+    def test_v2_payload_gets_actionable_error(self, core_record):
+        """A v2 payload must fail with one line naming the missing
+        per-direction traffic fields (the v2 -> v3 migration note)."""
+        v2 = dict(core_record.to_json(), schema=2)
+        with pytest.raises(ValueError) as excinfo:
+            RunRecord.from_json(v2)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "2" in message and str(SCHEMA_VERSION) in message
+        assert "dma_bytes_read" in message and "writeback" in message
+        assert "re-run" in message
+
+
+class TestWritebackBackends:
+    """The +wb spec suffix and write-back record detail."""
+
+    def test_parse_writeback_specs(self):
+        cluster = parse_backend("cluster:2+wb")
+        assert isinstance(cluster, ClusterBackend)
+        assert cluster.writeback and cluster.cores == 2
+        assert cluster.spec == "cluster:2+wb"
+        soc = parse_backend("soc:2x2+wb")
+        assert isinstance(soc, SocBackend)
+        assert soc.writeback
+        assert soc.spec == "soc:2x2+wb"
+        # Round trip: parse(spec).spec is the fixed point.
+        for spec in ("cluster:4+wb", "soc:2x4+wb", "cluster:4",
+                     "soc:2x4"):
+            assert parse_backend(spec).spec == spec
+
+    def test_writeback_cluster_record(self):
+        record = ClusterBackend(cores=2, writeback=True).run(
+            Workload("expf", "copift", n=512))
+        detail = record.cluster
+        assert record.backend == "cluster:2+wb"
+        assert detail.writeback
+        assert detail.dma_bytes_written == 512 * 8
+        assert detail.dma_bytes \
+            == detail.dma_bytes_read + detail.dma_bytes_written
+        # Simulated-beat energy accounting: the priced DMA bytes are
+        # the engine's measured traffic (staging + drain).
+        assert record.power.breakdown_pj["dma"] > 0
+        rebuilt = RunRecord.from_json(
+            json.loads(json.dumps(record.to_json())))
+        assert rebuilt == record
+
+    def test_writeback_soc_record(self):
+        record = SocBackend(clusters=2, cores=2, writeback=True).run(
+            Workload("expf", "copift", n=512))
+        detail = record.soc
+        assert record.backend == "soc:2x2+wb"
+        assert detail.writeback
+        assert detail.dma_bytes_written == 512 * 8
+        assert detail.l2_bytes_written == 512 * 8
+        rebuilt = RunRecord.from_json(
+            json.loads(json.dumps(record.to_json())))
+        assert rebuilt == record
+
+    def test_writeback_energy_exceeds_off_mode_constant_rate(self):
+        """Write-back stretches the run and adds simulated traffic;
+        total energy must grow versus the off-mode run."""
+        on = ClusterBackend(cores=2, writeback=True).run(
+            Workload("logf", "copift", n=512))
+        off = ClusterBackend(cores=2).run(
+            Workload("logf", "copift", n=512))
+        assert on.total_cycles > off.total_cycles
+        assert on.cluster.dma_bytes > off.cluster.dma_bytes
 
 
 class TestSweep:

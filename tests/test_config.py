@@ -1,6 +1,5 @@
 """CoreConfig / latency-table invariants and machine determinism."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import ProgramBuilder

@@ -1,7 +1,6 @@
 """COPIFT Step 1 tests: DFG construction and dependency typing."""
 
 import networkx as nx
-import pytest
 
 from repro.copift.dfg import DepKind, build_dfg
 from repro.isa import parse

@@ -65,8 +65,6 @@ class TestCustom1Allocation:
     @pytest.mark.parametrize("original,custom",
                              sorted(COPIFT_REENCODINGS.items()))
     def test_opcode_moved_funct_preserved(self, original, custom):
-        fp_ops = {"frd": "fa0", "rd": "a0", "frs1": "fa1",
-                  "rs1": "a1", "frs2": "fa2"}
         from repro.isa import spec as get_spec
 
         def build(mnemonic):

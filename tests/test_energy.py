@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.energy import EnergyModel, EnergyParams, PowerReport
+from repro.energy import EnergyModel, EnergyParams
 from repro.sim.counters import Counters
 
 

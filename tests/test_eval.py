@@ -30,6 +30,26 @@ class TestRunner:
         with pytest.raises(KeyError, match="unknown kernel"):
             kernel("fft")
 
+    def test_measure_kernel_warns_deprecated_once(self):
+        with pytest.warns(DeprecationWarning) as record:
+            measure_kernel(kernel("pi_lcg"), n=256, block=32)
+        messages = [w for w in record
+                    if "measure_kernel is deprecated" in
+                    str(w.message)]
+        assert len(messages) == 1
+        assert "repro.api" in str(messages[0].message)
+
+    def test_measure_instance_warns_deprecated_once(self):
+        from repro.eval import measure_instance
+
+        with pytest.warns(DeprecationWarning) as record:
+            measure_instance(kernel("pi_lcg").build_baseline(256))
+        messages = [w for w in record
+                    if "measure_instance is deprecated" in
+                    str(w.message)]
+        assert len(messages) == 1
+        assert "record_from_instance" in str(messages[0].message)
+
 
 class TestRegistry:
     def test_six_kernels_in_paper_order(self):

@@ -232,7 +232,77 @@ class TestArtifactRegistry:
 
     def test_list_shows_extra_flags(self, capsys):
         main(["--list"])
-        assert "--clusters" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "--clusters" in out
+        assert "--writeback" in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        """--list --json dumps the registry: names, help, flags,
+        sharding — everything a tool needs to drive the CLI."""
+        assert main(["--list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {a["name"]: a for a in payload["artifacts"]}
+        assert list(by_name) == artifacts.names()
+        for spec in artifacts.specs():
+            entry = by_name[spec.name]
+            assert entry["help"] == spec.help
+            assert entry["sharded"] == spec.sharded
+            assert entry["aliases"] == list(spec.aliases)
+            assert [f["name"] for f in entry["flags"]] \
+                == [f.name for f in spec.flags]
+        soc_flags = {f["name"]: f for f in by_name["socscale"]["flags"]}
+        assert soc_flags["--writeback"]["default"] is False
+        assert soc_flags["--clusters"]["metavar"]
+
+    def test_list_json_honours_out(self, tmp_path):
+        out = tmp_path / "registry.json"
+        assert main(["--list", "--json", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert {a["name"] for a in payload["artifacts"]} \
+            == set(artifacts.names())
+
+    def test_writeback_flag_shared_by_both_scaling_artifacts(self):
+        owners = {spec.name for flag, spec in artifacts.extra_flags()
+                  if flag.name == "--writeback"}
+        assert owners == {"clusterscale", "socscale"}
+
+    def test_writeback_on_wrong_artifact_lists_all_owners(self,
+                                                          capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--writeback", "on"])
+        err = capsys.readouterr().err
+        assert "--writeback applies to artifacts" in err
+        assert "'clusterscale'" in err and "'socscale'" in err
+
+    def test_writeback_value_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["clusterscale", "--writeback", "maybe"])
+        assert "on|off" in capsys.readouterr().err
+
+    def test_writeback_cli_round_trip(self, tmp_path):
+        out = tmp_path / "wb.json"
+        assert main(["clusterscale", "--n", "256", "--cores", "1,2",
+                     "--writeback", "on", "--json",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["writeback"] is True
+        expf = next(r for r in payload["rows"]
+                    if r["kernel"] == "expf"
+                    and r["variant"] == "baseline")
+        assert all(p["dma_bytes_written"] == 256 * 8
+                   for p in expf["points"])
+
+    def test_writeback_off_payload_has_no_extra_keys(self, tmp_path):
+        """The default payload must stay byte-compatible with the
+        pre-write-back goldens: no writeback marker, no per-direction
+        fields."""
+        out = tmp_path / "off.json"
+        assert main(["clusterscale", "--n", "256", "--cores", "1,2",
+                     "--json", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "writeback" not in payload
+        point = payload["rows"][0]["points"][0]
+        assert "dma_bytes_written" not in point
 
     def test_extra_flag_registration_guards(self):
         from repro.api.artifacts import ExtraFlag

@@ -7,9 +7,7 @@ round trips through the custom-1 instructions).
 """
 
 import math
-import struct
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.isa import ProgramBuilder

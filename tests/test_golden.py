@@ -29,6 +29,11 @@ GOLDEN_PATH = os.path.join(GOLDEN_DIR, "golden_n512.json")
 N = 512
 CORES = (1, 2, 4, 8)
 SOC_SHAPES = ((1, 4), (2, 4), (4, 4))
+#: Smaller sweeps for the write-back-mode sections (the default-mode
+#: sections above must stay byte-identical to their pre-write-back
+#: values; these lock the new simulated-drain timing separately).
+WB_CORES = (2, 4)
+WB_SOC_SHAPES = ((1, 4), (2, 4))
 
 
 def collect() -> dict:
@@ -68,9 +73,14 @@ def collect() -> dict:
     cluster = clusterscale_payload(
         clusterscale.generate(n=N, cores=CORES))
     soc = socscale_payload(socscale.generate(n=N, shapes=SOC_SHAPES))
+    cluster_wb = clusterscale_payload(
+        clusterscale.generate(n=N, cores=WB_CORES, writeback=True))
+    soc_wb = socscale_payload(
+        socscale.generate(n=N, shapes=WB_SOC_SHAPES, writeback=True))
     return {"n": N, "cores": list(CORES),
             "machine": machine_rows, "clusterscale": cluster,
-            "socscale": soc}
+            "socscale": soc, "clusterscale_writeback": cluster_wb,
+            "socscale_writeback": soc_wb}
 
 
 @pytest.fixture(scope="module")
@@ -114,6 +124,48 @@ class TestGoldenCluster:
 
     def test_payload_bit_identical(self, golden, current):
         assert current["clusterscale"] == golden["clusterscale"]
+
+
+class TestGoldenWriteback:
+    """Write-back-mode sweeps: simulated output drain locked bit-exact.
+
+    The *default-mode* sections above are the pre-write-back goldens —
+    their passing is what proves ``writeback=off`` stayed
+    cycle-identical through the unified-traffic-engine refactor.
+    These sections lock the new drain timing and assert the drained
+    bytes actually show up in the traffic stats.
+    """
+
+    def test_cluster_payload_bit_identical(self, golden, current):
+        assert current["clusterscale_writeback"] \
+            == golden["clusterscale_writeback"]
+
+    def test_soc_payload_bit_identical(self, golden, current):
+        assert current["socscale_writeback"] \
+            == golden["socscale_writeback"]
+
+    def test_drained_bytes_appear(self, golden):
+        """Vector kernels drain one FP64 per element; the engine's
+        per-direction split must account every staged and drained
+        byte."""
+        for row in golden["clusterscale_writeback"]["rows"]:
+            for p in row["points"]:
+                if row["kernel"] in ("expf", "logf"):
+                    assert p["dma_bytes_written"] \
+                        == golden["clusterscale_writeback"]["n"] * 8, \
+                        row["kernel"]
+                else:
+                    assert p["dma_bytes_written"] == 0, row["kernel"]
+                assert p["dma_bytes"] \
+                    == p["dma_bytes_read"] + p["dma_bytes_written"]
+
+    def test_drain_traffic_reaches_l2(self, golden):
+        """In the SoC, drained bytes are L2 writes."""
+        for row in golden["socscale_writeback"]["rows"]:
+            for p in row["points"]:
+                assert p["l2_bytes"] \
+                    == p["dma_bytes_read"] + p["dma_bytes_written"], \
+                    row["kernel"]
 
 
 class TestGoldenSoc:

@@ -10,8 +10,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.kernels.registry import KERNELS
-from repro.sim import CoreConfig, Machine
-from repro.isa.instructions import OpClass
+from repro.sim import CoreConfig
 
 
 #: A few deliberately weird-but-legal microarchitectures.

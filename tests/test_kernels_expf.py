@@ -3,14 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.isa.instructions import Thread
 from repro.kernels.expf import (
     build_baseline,
     build_copift,
     exp_table,
     N_TABLE,
 )
-from repro.sim import CoreConfig
 
 
 class TestTable:

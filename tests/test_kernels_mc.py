@@ -46,7 +46,6 @@ class TestPrngMirrors:
     def test_xoshiro_asm_matches_reference(self, seed):
         b = ProgramBuilder()
         xoshiro.emit_init(b, seed)
-        outputs = []
         for i in range(4):
             xoshiro.emit_step(b, f"a{i}")
         m = Machine()

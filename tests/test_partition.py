@@ -5,7 +5,6 @@ tests check the partition invariants on randomly generated mixed
 integer/FP blocks.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.copift.dfg import build_dfg

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.isa import (
-    OpClass,
     Program,
     ProgramBuilder,
     Thread,

@@ -246,6 +246,47 @@ class TestSocPartition:
             w.run(config=tiny, check=False)
 
 
+class TestSocWriteback:
+    """Output write-back across the SoC: drains hit the interconnect
+    and land in the shared L2 as the authoritative result copy."""
+
+    def test_drained_bytes_reach_the_shared_l2(self):
+        w = partition_soc_kernel(kernel("expf"), 512, 2, 2,
+                                 writeback=True)
+        assert w.writeback
+        # run(check=True) also verifies the shared-L2 drain regions
+        # hold the computed outputs byte for byte.
+        result = w.run(check=True)
+        assert result.l2_bytes_read == 512 * 8
+        assert result.l2_bytes_written == 512 * 8
+        assert result.dma_bytes_written == 512 * 8
+        assert result.dma_bytes == 2 * 512 * 8
+
+    def test_drain_beats_cross_the_interconnect(self):
+        on = partition_soc_kernel(kernel("expf"), 1024, 2, 2,
+                                  writeback=True).run(check=False)
+        off = partition_soc_kernel(kernel("expf"), 1024, 2, 2)\
+            .run(check=False)
+        # Drains double the link traffic (8 bytes/beat each way).
+        assert sum(on.link_beats) == 2 * sum(off.link_beats)
+        assert on.cycles > off.cycles
+
+    def test_drain_regions_capacity_enforced_up_front(self):
+        w = partition_soc_kernel(kernel("expf"), 512, 2, 2,
+                                 writeback=True)
+        # Inputs alone fit; inputs + drain regions do not.
+        tiny = SocConfig(l2_size=512 * 8 + 64)
+        with pytest.raises(MemoryError_, match="does not fit"):
+            w.run(config=tiny, check=False)
+
+    def test_writeback_off_soc_unchanged(self):
+        base = partition_soc_kernel(kernel("logf"), 512, 2, 2)
+        explicit = partition_soc_kernel(kernel("logf"), 512, 2, 2,
+                                        writeback=False)
+        assert base.run(check=False).cycles \
+            == explicit.run(check=False).cycles
+
+
 class TestSocContention:
     def _run(self, n_clusters, **config_kwargs):
         w = partition_soc_kernel(kernel("expf"), 4096, n_clusters, 4,

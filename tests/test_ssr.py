@@ -10,10 +10,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import ProgramBuilder
-from repro.sim import Machine, Memory, Allocator, SimulationError
+from repro.sim import Machine, Memory, Allocator
 from repro.sim.ssr import (
-    F_BOUND0, F_BOUND1, F_IDX_BASE, F_IDX_CFG, F_REPEAT, F_RPTR,
-    F_STATUS, F_STRIDE0, F_STRIDE1, F_WPTR, SSR, SSRError,
+    F_BOUND0, F_IDX_BASE, F_IDX_CFG, F_REPEAT, F_RPTR,
+    F_STATUS, F_STRIDE0, F_WPTR, SSR, SSRError,
     decode_cfg_imm, encode_cfg_imm,
 )
 

@@ -13,7 +13,7 @@ from repro.copift.ssr_mapping import (
 )
 from repro.isa import ProgramBuilder
 from repro.sim import Machine
-from repro.sim.ssr import SSR, F_RPTR
+from repro.sim.ssr import SSR
 
 
 class TestAffineStream:

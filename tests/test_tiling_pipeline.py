@@ -10,7 +10,7 @@ from repro.copift.pipeline import (
     pipelined_schedule,
     steady_state_range,
 )
-from repro.copift.tiling import BufferSpec, TilingPlan, plan_from_partition
+from repro.copift.tiling import BufferSpec, plan_from_partition
 
 
 class TestBufferSpec:

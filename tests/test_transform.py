@@ -5,7 +5,6 @@ import pytest
 
 from repro.copift.frep_mapping import FrepBodyError
 from repro.copift.transform import TwoPhaseSpec, generate_two_phase
-from repro.isa.program import ProgramBuilder
 from repro.sim import Allocator, Machine, Memory
 from repro.kernels.dither import (
     build_baseline,
