@@ -26,7 +26,7 @@ from typing import Any, Callable
 #: CLI flags every artifact shares; per-artifact extra flags must not
 #: collide with these (or with each other).
 SHARED_FLAGS = ("--list", "--n", "--full", "--cores", "--jobs",
-                "--out", "--json")
+                "--out", "--json", "--trace", "--profile")
 
 
 @dataclass(frozen=True)
@@ -129,6 +129,13 @@ class ArtifactSpec:
     order: int = 100
     #: Artifact-specific CLI flags (beyond the shared set).
     flags: tuple[ExtraFlag, ...] = ()
+    #: Observability hook for ``--trace`` / ``--profile``:
+    #: ``request -> (workload, backend)`` selecting the artifact's
+    #: *representative cell* — the single workload x backend pair the
+    #: dispatcher re-runs inline (never sharded, so trace bytes are
+    #: stable across ``--jobs``) with an ObsSink attached.  None means
+    #: the artifact cannot be observed.
+    observe: Callable[[ArtifactRequest], tuple] | None = None
 
     def run(self, request: ArtifactRequest) -> ArtifactResult:
         return self.func(request)
@@ -148,7 +155,9 @@ def specs() -> list[ArtifactSpec]:
 def artifact(name: str, help: str = "", sharded: bool = False,
              aliases: tuple[str, ...] = (),
              composite: bool = False, order: int = 100,
-             flags: tuple[ExtraFlag, ...] = ()) -> Callable:
+             flags: tuple[ExtraFlag, ...] = (),
+             observe: Callable[[ArtifactRequest], tuple] | None = None
+             ) -> Callable:
     """Register the decorated function as the artifact *name*."""
     def register(func: Callable) -> Callable:
         if name in REGISTRY or name in _ALIASES:
@@ -171,7 +180,7 @@ def artifact(name: str, help: str = "", sharded: bool = False,
         spec = ArtifactSpec(name=name, func=func, help=help,
                             sharded=sharded, aliases=tuple(aliases),
                             composite=composite, order=order,
-                            flags=tuple(flags))
+                            flags=tuple(flags), observe=observe)
         REGISTRY[name] = spec
         for alias in spec.aliases:
             if alias in REGISTRY or alias in _ALIASES:

@@ -32,6 +32,7 @@ from typing import Callable, Protocol, runtime_checkable
 from ..cluster import ClusterConfig, partition_kernel
 from ..energy import ClusterEnergyModel, EnergyModel, SocEnergyModel
 from ..kernels.common import MAIN_REGION, KernelInstance
+from ..obs import ObsSink, aggregate_profile, core_profile
 from ..sim import CoreConfig
 from ..soc import SocConfig, partition_soc_kernel, soc_config_for
 from .record import ClusterDetail, RunRecord, SocDetail
@@ -47,25 +48,50 @@ class Backend(Protocol):
         """The canonical spec string naming this backend."""
         ...
 
-    def run(self, workload: Workload, check: bool = False) -> RunRecord:
-        """Simulate *workload*; optionally verify kernel results."""
+    def run(self, workload: Workload, check: bool = False,
+            obs=None) -> RunRecord:
+        """Simulate *workload*; optionally verify kernel results.
+
+        *obs* is the observability knob: ``None`` (default) runs
+        without instrumentation, any truthy value embeds the
+        cycle-attribution profile in the record, and an
+        :class:`repro.obs.ObsSink` additionally collects the run's
+        structured events into that sink.
+        """
         ...
+
+
+def _obs_sink(obs) -> ObsSink | None:
+    """The event sink behind the ``obs`` knob (None for bare truthy)."""
+    return obs if isinstance(obs, ObsSink) else None
+
+
+def _cluster_profile_node(scope: str, cluster_result):
+    """Profile a ClusterRunResult: per-core leaves under one node."""
+    children = [
+        core_profile(f"{scope}/core{k}", r.region(MAIN_REGION))
+        for k, r in enumerate(cluster_result.core_results)
+    ]
+    return aggregate_profile(scope, children)
 
 
 def record_from_instance(instance: KernelInstance,
                          config: CoreConfig | None = None,
                          energy_model: EnergyModel | None = None,
                          check: bool = True,
-                         seed: int | None = None) -> RunRecord:
+                         seed: int | None = None,
+                         obs=None) -> RunRecord:
     """Run an already-built instance on a bare core, as a RunRecord.
 
     This is the single measurement path shared by :class:`CoreBackend`
     and the legacy ``repro.eval.measure_instance`` shim: main-region
     cycles/counters, IPC, and the energy model priced on the kernel's
-    conceptual DMA traffic.
+    conceptual DMA traffic.  See :meth:`Backend.run` for the ``obs``
+    knob.
     """
     model = energy_model or EnergyModel()
-    result, _ = instance.run(config=config, check=check)
+    result, _ = instance.run(config=config, check=check,
+                             obs=_obs_sink(obs))
     region = result.region(MAIN_REGION)
     counters = region.counters
     power = model.report(
@@ -87,6 +113,8 @@ def record_from_instance(instance: KernelInstance,
         ipc=region.ipc,
         counters=dict(vars(counters)),
         power=power,
+        profile=core_profile("core", region).to_json()
+        if obs else None,
     )
 
 
@@ -101,11 +129,12 @@ class CoreBackend:
     def spec(self) -> str:
         return "core"
 
-    def run(self, workload: Workload, check: bool = False) -> RunRecord:
+    def run(self, workload: Workload, check: bool = False,
+            obs=None) -> RunRecord:
         return record_from_instance(
             workload.build(), config=self.config,
             energy_model=self.energy_model, check=check,
-            seed=workload.seed,
+            seed=workload.seed, obs=obs,
         )
 
 
@@ -132,7 +161,8 @@ class ClusterBackend:
         suffix = "+wb" if self.writeback else ""
         return f"cluster:{self.cores}{suffix}"
 
-    def run(self, workload: Workload, check: bool = False) -> RunRecord:
+    def run(self, workload: Workload, check: bool = False,
+            obs=None) -> RunRecord:
         if workload.seed is not None:
             raise ValueError(
                 "cluster backends derive per-core seeds from the "
@@ -147,7 +177,8 @@ class ClusterBackend:
             writeback=self.writeback,
         )
         result = parted.run(config=config,
-                            core_config=self.core_config, check=check)
+                            core_config=self.core_config, check=check,
+                            obs=_obs_sink(obs))
         region = result.region(MAIN_REGION)
         cycles = region.cycles
         # With write-back off, DMA energy is priced on the kernels'
@@ -201,6 +232,8 @@ class ClusterBackend:
                                   for r in result.core_results),
                 writeback=self.writeback,
             ),
+            profile=_cluster_profile_node(
+                "cluster0", result).to_json() if obs else None,
         )
 
 
@@ -232,7 +265,8 @@ class SocBackend:
         suffix = "+wb" if self.writeback else ""
         return f"soc:{self.clusters}x{self.cores}{suffix}"
 
-    def run(self, workload: Workload, check: bool = False) -> RunRecord:
+    def run(self, workload: Workload, check: bool = False,
+            obs=None) -> RunRecord:
         if workload.seed is not None:
             raise ValueError(
                 "SoC backends derive per-core seeds from the "
@@ -245,7 +279,8 @@ class SocBackend:
         )
         config = soc_config_for(parted, base=self.config)
         result = parted.run(config=config,
-                            core_config=self.core_config, check=check)
+                            core_config=self.core_config, check=check,
+                            obs=_obs_sink(obs))
         region = result.region(MAIN_REGION)
         cycles = region.cycles
         # Per-cluster activity priced by the cluster model over the SoC
@@ -310,6 +345,10 @@ class SocBackend:
                 barrier_count=result.barrier_count,
                 writeback=self.writeback,
             ),
+            profile=aggregate_profile("soc", [
+                _cluster_profile_node(f"soc/cluster{c}", cr)
+                for c, cr in enumerate(result.cluster_results)
+            ]).to_json() if obs else None,
         )
 
 

@@ -26,7 +26,10 @@ from ..energy import PowerReport
 #: v3: per-direction DMA traffic (``dma_bytes_read`` /
 #:     ``dma_bytes_written``) and the ``writeback`` mode marker in
 #:     both detail blocks (unified memory-traffic engine).
-SCHEMA_VERSION = 3
+#: v4: optional ``profile`` block — the observability layer's
+#:     cycle-attribution tree (``repro.obs.profile.ProfileNode``
+#:     JSON), present when the run was made with the ``obs`` knob.
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -195,6 +198,9 @@ class RunRecord:
     cluster: ClusterDetail | None = None
     soc: SocDetail | None = None
     seed: int | None = None
+    #: Cycle-attribution tree (ProfileNode.to_json()) when the run was
+    #: observed (``obs`` knob); None otherwise.
+    profile: dict | None = None
 
     @property
     def instructions(self) -> int:
@@ -238,6 +244,7 @@ class RunRecord:
             },
             "cluster": self.cluster.to_json() if self.cluster else None,
             "soc_detail": self.soc.to_json() if self.soc else None,
+            "profile": dict(self.profile) if self.profile else None,
         }
 
     @classmethod
@@ -258,6 +265,9 @@ class RunRecord:
                     "'dma_bytes_read'/'dma_bytes_written' and "
                     "'writeback' detail fields; re-run the artifact "
                     "to regenerate the payload)"),
+                3: (" (v3 predates the observability layer and lacks "
+                    "the optional 'profile' cycle-attribution block; "
+                    "re-run the artifact to regenerate the payload)"),
             }
             raise ValueError(
                 f"RunRecord schema mismatch: payload has "
@@ -291,4 +301,6 @@ class RunRecord:
             power=power,
             cluster=cluster,
             soc=soc,
+            profile=dict(data["profile"])
+            if data.get("profile") else None,
         )

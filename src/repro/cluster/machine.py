@@ -126,6 +126,12 @@ class ClusterMachine:
         self._active: list[Machine] = []
         self._finished: list[Machine] = []
         self._bound = False
+        #: Structured-event sink (repro.obs.ObsSink); None when off.
+        self.obs = None
+        #: Scope this cluster emits under (``soc/cluster{c}`` inside a
+        #: SoC, ``cluster0`` standalone).
+        self.obs_scope = "cluster0"
+        self._tracing = False
 
     # ------------------------------------------------------------------
     def add_core(self, program: Program, memory: Memory) -> Machine:
@@ -148,9 +154,40 @@ class ClusterMachine:
         machine.tcdm = self.tcdm
         machine.dma = self.dma
         machine.cluster = self
+        if self.obs is not None:
+            machine.attach_obs(
+                self.obs, f"{self.obs_scope}/core{machine.core_id}")
+        if self._tracing:
+            machine.enable_trace()
         self.cores.append(machine)
         self._programs.append(program)
         return machine
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, sink, scope: str = "cluster0") -> None:
+        """Observe the whole cluster: cores, TCDM banks, DMA, barriers.
+
+        Cores added later inherit the sink (an enclosing SoC attaches
+        before the workload populates the cluster).  Pass ``None`` to
+        detach.
+        """
+        self.obs = sink
+        self.obs_scope = scope
+        self.tcdm.obs = sink
+        self.tcdm.obs_scope = scope
+        self.dma.attach_obs(sink, scope)
+        for machine in self.cores:
+            machine.attach_obs(sink, f"{scope}/core{machine.core_id}")
+
+    def enable_trace(self) -> list[list]:
+        """Record issue events on every core (present and future).
+
+        Returns the per-core event lists, in core order — the list for
+        a core added after this call appears as cores are added (read
+        ``cores[k].trace`` for the live view).
+        """
+        self._tracing = True
+        return [machine.enable_trace() for machine in self.cores]
 
     # ------------------------------------------------------------------
     def _release_barrier(self, waiting: list[Machine],
@@ -164,6 +201,13 @@ class ClusterMachine:
             )
         release = max(m.barrier_arrival for m in waiting) \
             + self.config.barrier_latency
+        obs = self.obs
+        if obs is not None:
+            first = min(m.barrier_arrival for m in waiting)
+            obs.emit(self.obs_scope, "barrier", "barrier", first,
+                     release - first, "barrier",
+                     {"cores": len(waiting),
+                      "episode": self.barrier_count})
         for m in waiting:
             m.counters.stall_barrier += release - m.barrier_arrival
             m.int_time = release

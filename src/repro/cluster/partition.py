@@ -205,14 +205,22 @@ class ClusterWorkload:
     def run(self, config: ClusterConfig | None = None,
             core_config: CoreConfig | None = None,
             check: bool = True,
-            max_steps: int = 200_000_000) -> ClusterRunResult:
-        """Simulate the workload on a cluster sized to fit it."""
+            max_steps: int = 200_000_000,
+            obs=None) -> ClusterRunResult:
+        """Simulate the workload on a cluster sized to fit it.
+
+        *obs* is an optional :class:`repro.obs.ObsSink` observing the
+        whole cluster (cores, TCDM banks, DMA, barriers) under the
+        ``cluster0`` scope.
+        """
         config = config or ClusterConfig()
         if config.n_cores != self.n_cores:
             config = replace(config, n_cores=self.n_cores)
         if config.writeback != self.writeback:
             config = replace(config, writeback=self.writeback)
         cluster = ClusterMachine(config=config, core_config=core_config)
+        if obs is not None:
+            cluster.attach_obs(obs, "cluster0")
         for instance in self.instances:
             cluster.add_core(instance.program, instance.memory)
         result = cluster.run(max_steps=max_steps)

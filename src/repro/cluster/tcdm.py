@@ -53,6 +53,10 @@ class BankedTcdm:
             {} for _ in range(n_banks)
         ]
         self._claim_count = 0
+        #: Structured-event sink (repro.obs.ObsSink); None when off.
+        self.obs = None
+        #: Scope bank events are emitted under (the owning cluster).
+        self.obs_scope = "cluster0"
 
     # ------------------------------------------------------------------
     def bank_of(self, core_id: int, addr: int) -> int:
@@ -109,6 +113,11 @@ class BankedTcdm:
             else:
                 break
         delay = grant - cycle
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self.obs_scope, f"bank{words[0] % n}",
+                     "conflict" if delay else "grant", grant, 1,
+                     "tcdm", {"core": core_id, "stall": delay})
         for w in words:
             bank = w % n
             claims[bank][grant] = requestor

@@ -102,6 +102,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="Emit a machine-readable JSON payload "
                              "instead of the text rendering.")
+    parser.add_argument("--trace", type=str, default=None,
+                        metavar="FILE",
+                        help="Write a Chrome/Perfetto trace of the "
+                             "artifact's representative cell to FILE "
+                             "(open in ui.perfetto.dev or "
+                             "chrome://tracing).")
+    parser.add_argument("--profile", action="store_true",
+                        help="Append the representative cell's "
+                             "cycle-attribution profile tree and "
+                             "metrics to the artifact output.")
     # Per-artifact extra flags come from the registry; the dispatcher
     # accepts them all and validates ownership after parsing, so a
     # flag given to the wrong artifact gets one clear line (same
@@ -156,11 +166,49 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.artifact!r} does not take it"
             )
 
+    observing = bool(args.trace or args.profile)
+    if observing and spec.observe is None:
+        parser.error(
+            f"--trace/--profile need an artifact with an "
+            f"observability hook; artifact {args.artifact!r} has "
+            f"none (try: " + ", ".join(
+                s.name for s in artifacts.specs()
+                if s.observe is not None) + ")"
+        )
+
     request = ArtifactRequest(n=args.n, full=args.full,
                               cores=args.cores, jobs=args.jobs,
                               extras=extras)
     result = spec.run(request)
-    write_output(result.text, result.payload, args.out, args.json)
+    text, payload = result.text, result.payload
+
+    if observing:
+        # The representative cell re-runs *inline* (never through the
+        # sharded sweep), so the trace/profile bytes are identical for
+        # every --jobs value.
+        from ..obs import (MetricsRegistry, ObsSink, ProfileNode,
+                           render_profile, write_chrome_trace)
+        workload, backend = spec.observe(request)
+        sink = ObsSink()
+        record = backend.run(workload, check=False, obs=sink)
+        cell = (f"observed cell: {workload.kernel}/{workload.variant} "
+                f"n={workload.n} on {backend.spec}")
+        if args.trace:
+            write_chrome_trace(sink, args.trace)
+            print(f"wrote {args.trace} ({len(sink)} events; {cell})")
+        if args.profile:
+            node = ProfileNode.from_json(record.profile)
+            registry = MetricsRegistry.default()
+            text = "\n\n".join([
+                text, cell,
+                render_profile(node),
+                registry.render(record),
+            ])
+            payload = dict(payload)
+            payload["profile"] = record.profile
+            payload["metrics"] = registry.collect(record)
+
+    write_output(text, payload, args.out, args.json)
     return 0
 
 

@@ -246,9 +246,18 @@ def clusterscale_payload(data: ClusterScaleData) -> dict:
     return payload
 
 
+def observe_clusterscale(request: ArtifactRequest) -> tuple:
+    """Representative cell for ``--trace``/``--profile``: expf/copift
+    on the widest swept cluster (banked TCDM, DMA, barrier)."""
+    cores = max(request.effective_cores(DEFAULT_CORES))
+    return (Workload("expf", "copift", n=request.effective_n(4096)),
+            ClusterBackend(cores=cores,
+                           writeback=request.extra("writeback", False)))
+
+
 @artifact("clusterscale", sharded=True, order=40,
           help="1/2/4/8-core cluster scaling of every kernel",
-          flags=(WRITEBACK_FLAG,))
+          flags=(WRITEBACK_FLAG,), observe=observe_clusterscale)
 def clusterscale_artifact(request: ArtifactRequest) -> ArtifactResult:
     data = generate(n=request.effective_n(4096),
                     cores=request.effective_cores(DEFAULT_CORES),

@@ -213,8 +213,16 @@ def fig2_payload(data: Fig2Data) -> dict:
     }
 
 
+def observe_fig2(request: ArtifactRequest) -> tuple:
+    """Representative cell for ``--trace``/``--profile``: expf/copift
+    at the figure's problem size on a bare core."""
+    return (Workload("expf", "copift", n=request.effective_n(4096)),
+            CoreBackend())
+
+
 @artifact("fig2", aliases=("fig2a", "fig2b", "fig2c"), order=20,
-          help="Figure 2 IPC / power / speedup / energy, all kernels")
+          help="Figure 2 IPC / power / speedup / energy, all kernels",
+          observe=observe_fig2)
 def fig2_artifact(request: ArtifactRequest) -> ArtifactResult:
     data = generate(n=request.effective_n(4096))
     return ArtifactResult("fig2", render(data), fig2_payload(data))

@@ -141,8 +141,17 @@ def fig3_payload(data: Fig3Data) -> dict:
     }
 
 
+def observe_fig3(request: ArtifactRequest) -> tuple:
+    """Representative cell for ``--trace``/``--profile``: the grid's
+    centre — poly_lcg/copift at block 64, mid-range problem size."""
+    return (Workload("poly_lcg", "copift",
+                     n=_round_to_multiple(6144, 64), block=64),
+            CoreBackend())
+
+
 @artifact("fig3", sharded=True, order=30,
-          help="Figure 3 poly_lcg IPC over the block/problem grid")
+          help="Figure 3 poly_lcg IPC over the block/problem grid",
+          observe=observe_fig3)
 def fig3_artifact(request: ArtifactRequest) -> ArtifactResult:
     data = generate(full=request.full, jobs=request.jobs)
     return ArtifactResult("fig3", render(data), fig3_payload(data))

@@ -268,6 +268,15 @@ def socscale_payload(data: SocScaleData) -> dict:
     return payload
 
 
+def observe_socscale(request: ArtifactRequest) -> tuple:
+    """Representative cell for ``--trace``/``--profile``: expf/copift
+    on the last swept shape (interconnect, L2 and every cluster)."""
+    clusters, cores = request.extra("clusters", DEFAULT_SHAPES)[-1]
+    return (Workload("expf", "copift", n=request.effective_n(4096)),
+            SocBackend(clusters=clusters, cores=cores,
+                       writeback=request.extra("writeback", False)))
+
+
 @artifact("socscale", sharded=True, order=45,
           help="multi-cluster SoC scaling of every kernel",
           flags=(ExtraFlag(
@@ -275,7 +284,7 @@ def socscale_payload(data: SocScaleData) -> dict:
               help="SoC shapes to sweep, comma-separated CxM "
                    "(clusters x cores; default 1x4,2x4,4x4,2x8)",
               parse=parse_shapes, metavar="C1xM1,C2xM2,..."),
-              WRITEBACK_FLAG))
+              WRITEBACK_FLAG), observe=observe_socscale)
 def socscale_artifact(request: ArtifactRequest) -> ArtifactResult:
     data = generate(n=request.effective_n(4096),
                     shapes=request.extra("clusters", DEFAULT_SHAPES),

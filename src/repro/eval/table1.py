@@ -177,8 +177,16 @@ def clamp_n(n: int) -> int:
     return n
 
 
+def observe_table1(request: ArtifactRequest) -> tuple:
+    """Representative cell for ``--trace``/``--profile``: expf/copift
+    at the table's measurement size on a bare core."""
+    n = clamp_n(request.n) if request.n is not None else MAX_MEASURE_N
+    return Workload("expf", "copift", n=n), CoreBackend()
+
+
 @artifact("table1", order=10,
-          help="Table I kernel characteristics (mixes, TI, I', S')")
+          help="Table I kernel characteristics (mixes, TI, I', S')",
+          observe=observe_table1)
 def table1_artifact(request: ArtifactRequest) -> ArtifactResult:
     n = clamp_n(request.n) if request.n is not None else MAX_MEASURE_N
     rows = generate(n=n)

@@ -57,9 +57,15 @@ class KernelInstance:
     notes: dict = field(default_factory=dict)
 
     def run(self, config: CoreConfig | None = None,
-            check: bool = True) -> tuple[RunResult, Machine]:
-        """Simulate this instance; optionally verify the results."""
+            check: bool = True, obs=None) -> tuple[RunResult, Machine]:
+        """Simulate this instance; optionally verify the results.
+
+        *obs* is an optional :class:`repro.obs.ObsSink` receiving the
+        run's structured events under the ``core`` scope.
+        """
         machine = Machine(config=config, memory=self.memory)
+        if obs is not None:
+            machine.attach_obs(obs, "core")
         result = machine.run(self.program)
         if check:
             self.verify(self.memory, machine)

@@ -141,6 +141,16 @@ class TransferEngine:
             Direction.READ: 0, Direction.WRITE: 0,
         }
         self._tcdm: "BankedTcdm | None" = None
+        #: Structured-event sink (repro.obs.ObsSink); None when off.
+        self.obs = None
+        #: Scope transfer events are emitted under (the owning
+        #: cluster), or None until attach_obs wires it.
+        self.obs_scope = None
+
+    def attach_obs(self, sink, scope: str) -> None:
+        """Emit a slice per transfer into *sink* under *scope*."""
+        self.obs = sink
+        self.obs_scope = scope if sink is not None else None
 
     # ------------------------------------------------------------------
     # write-back simulation mode: beat-level TCDM bank claims
@@ -244,6 +254,13 @@ class TransferEngine:
             issue=now, begin=begin, done=done, direction=direction,
         )
         self.transfers.append(transfer)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self.obs_scope, "dma", "dma." + direction.value,
+                     begin, duration, "dma",
+                     {"core": core_id, "bytes": nbytes,
+                      "beats": nbeats,
+                      "stall": max(0, done - (first + nbeats))})
         if self.on_complete is not None:
             self.on_complete(transfer)
         return done

@@ -1,0 +1,37 @@
+"""Validate a Chrome trace-event JSON file::
+
+    python -m repro.obs validate trace.json
+
+Exit status 0 when the file satisfies the trace-event schema
+(:func:`repro.obs.trace.validate_chrome_trace`); 1 with the violation
+printed otherwise.  CI runs this against the sample trace artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .trace import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2 or argv[0] != "validate":
+        print("usage: python -m repro.obs validate TRACE.json",
+              file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+        count = validate_chrome_trace(data)
+    except (OSError, ValueError) as exc:
+        print(f"invalid trace {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"ok: {path} ({count} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Named metrics extracted uniformly from any run record.
+
+The repo's artifacts each pick their own columns out of a
+``RunRecord``; the registry here is the one place that names a metric
+once — extraction rule, unit, one-line help — so traces, profiles and
+tables all agree on what, say, ``tcdm.conflict_cycles`` means.
+
+Records are duck-typed: anything with the ``RunRecord`` surface
+(``cycles``, ``ipc``, a ``counters`` dict, optional ``cluster`` /
+``soc`` detail blocks, a ``power`` report) works, and a metric whose
+inputs are absent (e.g. link stalls on a core-only run) simply
+yields ``None`` and is skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named measurement extractable from a run record.
+
+    Attributes:
+        name: Dotted identifier, e.g. ``tcdm.conflict_cycles``.
+        unit: Display unit (``cycles``, ``insn/cycle``, ``bytes``,
+            ``mW``, ...).
+        help: One-line meaning.
+        extract: ``record -> value`` callable; return None when the
+            record has no such measurement (metric is skipped).
+    """
+
+    name: str
+    unit: str
+    help: str
+    extract: Callable
+
+
+def _counter(name: str):
+    return lambda r: r.counters.get(name)
+
+
+def _stall_total(record):
+    total = 0
+    for key, value in record.counters.items():
+        if key.startswith(("stall_", "fp_stall_")):
+            total += value
+    return total
+
+
+def _cluster(attr: str):
+    return lambda r: (getattr(r.cluster, attr)
+                      if getattr(r, "cluster", None) else None)
+
+
+def _soc(attr: str):
+    def extract(record):
+        detail = getattr(record, "soc", None)
+        if detail is None:
+            return None
+        value = getattr(detail, attr)
+        return sum(value) if isinstance(value, tuple) else value
+    return extract
+
+
+DEFAULT_METRICS: tuple[Metric, ...] = (
+    Metric("cycles", "cycles", "main-region makespan",
+           lambda r: r.cycles),
+    Metric("ipc", "insn/cycle",
+           "issued instructions per cycle, both engines",
+           lambda r: r.ipc),
+    Metric("issue.int", "insn", "integer-core issues",
+           _counter("int_issued")),
+    Metric("issue.fp", "insn", "FPSS issues (incl. FREP replays)",
+           _counter("fp_issued")),
+    Metric("issue.sequencer", "insn", "FREP sequencer replays",
+           _counter("sequencer_issued")),
+    Metric("stall.total", "cycles",
+           "every stall class on both engines", _stall_total),
+    Metric("stall.tcdm", "cycles", "integer-LSU bank conflicts",
+           _counter("stall_tcdm")),
+    Metric("stall.barrier", "cycles", "cluster barrier waits",
+           _counter("stall_barrier")),
+    Metric("stall.dma", "cycles", "dma.wait fence stalls",
+           _counter("stall_dma")),
+    Metric("tcdm.conflict_cycles", "cycles",
+           "banked-TCDM arbitration stalls, all cores",
+           _cluster("tcdm_conflict_cycles")),
+    Metric("dma.bytes", "bytes", "DMA traffic, both directions",
+           _cluster("dma_bytes")),
+    Metric("dma.busy_cycles", "cycles", "DMA engine occupancy",
+           _cluster("dma_busy_cycles")),
+    Metric("link.beats", "beats", "L2-link beats granted, all links",
+           _soc("link_beats")),
+    Metric("link.stall_cycles", "cycles",
+           "L2-link arbitration stalls, all links",
+           _soc("link_stall_cycles")),
+    Metric("l2.bytes", "bytes", "L2 traffic, both directions",
+           lambda r: ((r.soc.l2_bytes_read + r.soc.l2_bytes_written)
+                      if getattr(r, "soc", None) else None)),
+    Metric("power.mw", "mW", "average power over the main region",
+           lambda r: r.power_mw),
+    Metric("energy.pj_per_elem", "pJ/elem",
+           "main-region energy per output element",
+           lambda r: r.energy_pj / r.n if r.n else None),
+)
+
+
+@dataclass
+class MetricsRegistry:
+    """An ordered, name-unique collection of :class:`Metric`."""
+
+    metrics: list[Metric] = field(default_factory=list)
+
+    @classmethod
+    def default(cls) -> "MetricsRegistry":
+        return cls(metrics=list(DEFAULT_METRICS))
+
+    def register(self, metric: Metric) -> None:
+        if any(m.name == metric.name for m in self.metrics):
+            raise ValueError(f"duplicate metric {metric.name!r}")
+        self.metrics.append(metric)
+
+    def collect(self, record) -> dict:
+        """Extract every applicable metric from *record*, in order."""
+        out: dict = {}
+        for metric in self.metrics:
+            value = metric.extract(record)
+            if value is not None:
+                out[metric.name] = value
+        return out
+
+    def render(self, record) -> str:
+        """Aligned metric table for *record*."""
+        units = {m.name: m.unit for m in self.metrics}
+        rows = self.collect(record)
+        lines = [f"{'metric':<24} {'value':>14}  unit",
+                 "-" * 48]
+        for name, value in rows.items():
+            shown = f"{value:.4f}" if isinstance(value, float) \
+                else str(value)
+            lines.append(f"{name:<24} {shown:>14}  {units[name]}")
+        return "\n".join(lines)

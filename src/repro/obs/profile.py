@@ -1,0 +1,144 @@
+"""Deterministic top-down cycle attribution across core → cluster → SoC.
+
+Every measured region answers two questions exactly: *how many cycles
+did it take* and *what was each cycle spent on*.  The integer core is
+the issue engine that owns the critical path — each of its cycles is
+either an issue slot (integer issue or FP dispatch), one of the stall
+classes from :class:`Counters`, or part of the **drain** tail where
+the FPSS finishes work the integer core already handed off.  That
+last bucket is computed as the signed residual, so the leaf buckets
+sum to the region's cycle count *by construction* — the
+golden-agreement test asserts this for every kernel on every backend.
+
+FPSS-side stall counters overlap the integer timeline (both engines
+stall on the same cycle all the time) so they are reported as an
+``overlap`` detail, never added to the sum.
+
+Cluster and SoC nodes aggregate their children: a parent's cycle
+count is the makespan (max over children), matching how the cluster
+and SoC machines measure regions.
+
+Inputs are duck-typed (anything with ``cycles`` and a ``counters``
+object exposing the stall-field tuples), so this module imports
+nothing from the rest of the repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProfileNode:
+    """One scope's cycle attribution.
+
+    Attributes:
+        scope: Hierarchical scope name (matches the trace's process
+            names, e.g. ``soc/cluster0/core2``).
+        cycles: Region cycles measured at this scope.
+        buckets: Ordered leaf attribution; values sum to *cycles*
+            exactly (the ``drain`` bucket is the signed residual).
+            Empty on aggregate (cluster/SoC) nodes.
+        overlap: FPSS-side stall detail that overlaps the integer
+            timeline — informational, excluded from the sum.
+        children: Child scopes (cores of a cluster, clusters of a
+            SoC).
+    """
+
+    scope: str
+    cycles: int
+    buckets: dict[str, int] = field(default_factory=dict)
+    overlap: dict[str, int] = field(default_factory=dict)
+    children: list["ProfileNode"] = field(default_factory=list)
+
+    def bucket_sum(self) -> int:
+        return sum(self.buckets.values())
+
+    def to_json(self) -> dict:
+        out: dict = {"scope": self.scope, "cycles": self.cycles}
+        if self.buckets:
+            out["buckets"] = dict(self.buckets)
+        if self.overlap:
+            out["overlap"] = dict(self.overlap)
+        if self.children:
+            out["children"] = [c.to_json() for c in self.children]
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ProfileNode":
+        return cls(scope=data["scope"], cycles=data["cycles"],
+                   buckets=dict(data.get("buckets", {})),
+                   overlap=dict(data.get("overlap", {})),
+                   children=[cls.from_json(c)
+                             for c in data.get("children", [])])
+
+
+def core_profile(scope: str, region) -> ProfileNode:
+    """Attribute one core's region cycles to issue/stall/drain buckets.
+
+    *region* is any object with ``cycles`` and ``counters`` (a
+    :class:`RegionMeasurement`); the counters object must expose
+    ``int_stall_fields()`` / ``fp_stall_fields()``.
+    """
+    counters = region.counters
+    buckets: dict[str, int] = {
+        "issue.int": counters.int_issued,
+        "issue.fp_dispatch": counters.fp_dispatched,
+    }
+    for name in counters.int_stall_fields():
+        buckets["stall." + name.removeprefix("stall_")] = \
+            getattr(counters, name)
+    # The integer core's issue slots plus its stalls cover its own
+    # busy time; whatever remains of the region is the FPSS drain
+    # tail, barrier skew and region-boundary slack.  Signed residual
+    # => the buckets always sum to region.cycles exactly.
+    buckets["drain"] = region.cycles - sum(buckets.values())
+    overlap = {
+        name.removeprefix("fp_stall_"): getattr(counters, name)
+        for name in counters.fp_stall_fields()
+    }
+    return ProfileNode(scope=scope, cycles=region.cycles,
+                       buckets=buckets, overlap=overlap)
+
+
+def aggregate_profile(scope: str,
+                      children: list[ProfileNode]) -> ProfileNode:
+    """Parent node over *children*: cycles = makespan (max child)."""
+    cycles = max((c.cycles for c in children), default=0)
+    return ProfileNode(scope=scope, cycles=cycles, children=children)
+
+
+def _render_node(node: ProfileNode, total: int, indent: int,
+                 lines: list[str], min_pct: float) -> None:
+    pct = 100.0 * node.cycles / total if total else 0.0
+    pad = "  " * indent
+    lines.append(f"{pad}{node.scope:<{32 - len(pad)}} "
+                 f"{node.cycles:>10}  {pct:6.1f}%")
+    for name, value in node.buckets.items():
+        if value == 0:
+            continue
+        bucket_pct = 100.0 * value / total if total else 0.0
+        if bucket_pct < min_pct and name != "drain":
+            continue
+        bucket_pad = "  " * (indent + 1)
+        lines.append(f"{bucket_pad}{name:<{32 - len(bucket_pad)}} "
+                     f"{value:>10}  {bucket_pct:6.1f}%")
+    shown_overlap = {k: v for k, v in node.overlap.items() if v}
+    if shown_overlap:
+        detail = ", ".join(f"{k}={v}"
+                           for k, v in shown_overlap.items())
+        lines.append(f"{'  ' * (indent + 1)}(fpss overlap: {detail})")
+    for child in node.children:
+        _render_node(child, total, indent + 1, lines, min_pct)
+
+
+def render_profile(node: ProfileNode, min_pct: float = 0.0) -> str:
+    """Percent tree of *node*, scoped like the trace's processes.
+
+    Buckets below *min_pct* percent of the root's cycles are elided
+    (the ``drain`` residual is always shown).
+    """
+    lines = [f"{'scope / bucket':<32} {'cycles':>10}  {'share':>7}",
+             "-" * 52]
+    _render_node(node, node.cycles, 0, lines, min_pct)
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Chrome/Perfetto trace-event export and validation.
+
+:func:`chrome_trace` converts an :class:`~repro.obs.events.ObsSink`
+into the JSON object format understood by ``chrome://tracing`` and
+https://ui.perfetto.dev: each hierarchical *scope* becomes a process,
+each *lane* within it a thread, events become complete ("X") slices,
+and DMA cause→effect pairs become flow arrows ("s"/"f").
+
+The output is byte-deterministic: scopes and lanes get their
+process/thread ids from a natural sort of their names, slices are
+ordered by (process, thread, start, emission order), and the sink
+itself is filled in simulation order — so the same workload on the
+same backend always serializes to the same bytes, regardless of how
+many sweep shards ran around it.
+
+:func:`validate_chrome_trace` is the schema check CI runs against the
+sample trace artifact: required keys per event phase, a ``dur`` on
+every slice, metadata naming every process, and non-decreasing ``ts``
+per lane.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from .events import ObsEvent, ObsSink
+
+_NAT_SPLIT = re.compile(r"(\d+)")
+
+
+def _natural_key(name: str) -> tuple:
+    """Sort helper so ``bank10`` follows ``bank9``, not ``bank1``."""
+    return tuple(int(part) if part.isdigit() else part
+                 for part in _NAT_SPLIT.split(name))
+
+
+def _slice_json(event: ObsEvent, pid: int, tid: int) -> dict:
+    out = {"name": event.name, "cat": event.cat or "event",
+           "ph": "X", "ts": event.ts, "dur": event.dur,
+           "pid": pid, "tid": tid}
+    if event.args:
+        out["args"] = dict(event.args)
+    return out
+
+
+def chrome_trace(sink: ObsSink) -> dict:
+    """Serialize *sink* to a Chrome trace-event JSON object."""
+    scopes = sorted({e.scope for e in sink.events}, key=_natural_key)
+    pids = {scope: i + 1 for i, scope in enumerate(scopes)}
+    tids: dict[tuple[str, str], int] = {}
+    trace_events: list[dict] = []
+    for scope in scopes:
+        pid = pids[scope]
+        lanes = sorted({e.lane for e in sink.events
+                        if e.scope == scope}, key=_natural_key)
+        trace_events.append({"name": "process_name", "ph": "M",
+                             "pid": pid,
+                             "args": {"name": scope}})
+        trace_events.append({"name": "process_sort_index", "ph": "M",
+                             "pid": pid,
+                             "args": {"sort_index": pid}})
+        for t, lane in enumerate(lanes, start=1):
+            tids[(scope, lane)] = t
+            trace_events.append({"name": "thread_name", "ph": "M",
+                                 "pid": pid, "tid": t,
+                                 "args": {"name": lane}})
+            trace_events.append({"name": "thread_sort_index",
+                                 "ph": "M", "pid": pid, "tid": t,
+                                 "args": {"sort_index": t}})
+
+    # Stable order: by lane, then start cycle, then emission order —
+    # emission order is simulation order, which is deterministic.
+    indexed = sorted(
+        enumerate(sink.events),
+        key=lambda pair: (pids[pair[1].scope],
+                          tids[(pair[1].scope, pair[1].lane)],
+                          pair[1].ts, pair[0]))
+    for _, event in indexed:
+        pid = pids[event.scope]
+        tid = tids[(event.scope, event.lane)]
+        trace_events.append(_slice_json(event, pid, tid))
+        if event.flow is not None:
+            arrow = {"name": event.name, "cat": event.cat or "event",
+                     "ph": event.flow_phase, "id": event.flow,
+                     "ts": event.ts + (event.dur
+                                       if event.flow_phase == "f"
+                                       else 0),
+                     "pid": pid, "tid": tid}
+            if event.flow_phase == "f":
+                arrow["bp"] = "e"
+            trace_events.append(arrow)
+    return {"traceEvents": trace_events,
+            "displayTimeUnit": "ns",
+            "otherData": {"clock": "cycles"}}
+
+
+def write_chrome_trace(sink: ObsSink, path: str) -> None:
+    """Write *sink* to *path* as deterministic Chrome trace JSON."""
+    data = chrome_trace(sink)
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_chrome_trace(data: dict) -> int:
+    """Check *data* against the Chrome trace-event schema.
+
+    Raises ValueError on the first violation; returns the number of
+    ``traceEvents`` when valid.  This is what CI runs against the
+    uploaded sample trace.
+    """
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("missing top-level 'traceEvents' key")
+    events = data["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    named_pids: set[int] = set()
+    last_ts: dict[tuple[int, int], int] = {}
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "pid"):
+            if key not in event:
+                raise ValueError(f"event {i} missing '{key}': {event}")
+        phase = event["ph"]
+        if phase == "M":
+            if event["name"] == "process_name":
+                named_pids.add(event["pid"])
+            continue
+        if "ts" not in event:
+            raise ValueError(f"event {i} missing 'ts': {event}")
+        if phase == "X":
+            if "dur" not in event:
+                raise ValueError(f"slice {i} missing 'dur': {event}")
+            lane = (event["pid"], event.get("tid", 0))
+            if event["ts"] < last_ts.get(lane, 0):
+                raise ValueError(
+                    f"slice {i} breaks per-lane ts monotonicity: "
+                    f"{event}")
+            last_ts[lane] = event["ts"]
+        elif phase in ("s", "f"):
+            if "id" not in event:
+                raise ValueError(f"flow event {i} missing 'id': "
+                                 f"{event}")
+        else:
+            raise ValueError(f"event {i} has unknown phase "
+                             f"'{phase}'")
+    used_pids = {e["pid"] for e in events if e["ph"] != "M"}
+    unnamed = used_pids - named_pids
+    if unnamed:
+        raise ValueError(f"processes without process_name metadata: "
+                         f"{sorted(unnamed)}")
+    return len(events)

@@ -18,8 +18,8 @@ from .machine import Machine, SimulationError
 from .memory import Allocator, Memory, MemoryError_
 from .scheduler import Scheduler
 from .ssr import SSR, SSRError, encode_cfg_imm, decode_cfg_imm
-from .trace import TraceEvent, dual_issue_cycles, lane_utilization, \
-    render_timeline
+from ..obs.timeline import TraceEvent, dual_issue_cycles, \
+    lane_utilization, render_timeline
 
 __all__ = [
     "Allocator",

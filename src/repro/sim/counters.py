@@ -71,6 +71,42 @@ class Counters:
     barriers: int = 0
     amo_ops: int = 0
 
+    #: Integer-core stall classes, in declaration order.  The profile
+    #: layer (``repro.obs.profile``) attributes cycles bucket-by-bucket
+    #: from these tuples, and ``tests/test_obs.py`` cross-checks them
+    #: against dataclass-field introspection — a new ``stall_*`` /
+    #: ``fp_stall_*`` field that is not added here fails that test
+    #: instead of silently missing the profile.
+    INT_STALL_FIELDS = (
+        "stall_raw_int", "stall_wb_port", "stall_queue_full",
+        "stall_branch", "stall_fp_response", "stall_mem_raw",
+        "stall_ssr_sync", "stall_tcdm", "stall_barrier", "stall_dma",
+    )
+    #: FPSS stall classes, in declaration order.
+    FP_STALL_FIELDS = (
+        "fp_stall_raw", "fp_stall_ssr", "fp_stall_wb_port",
+        "fp_stall_tcdm",
+    )
+
+    @classmethod
+    def int_stall_fields(cls) -> tuple[str, ...]:
+        """Integer-core stall counter names (profile sum buckets)."""
+        return cls.INT_STALL_FIELDS
+
+    @classmethod
+    def fp_stall_fields(cls) -> tuple[str, ...]:
+        """FPSS stall counter names (overlapped, not summed)."""
+        return cls.FP_STALL_FIELDS
+
+    @classmethod
+    def stall_fields(cls) -> tuple[str, ...]:
+        """All stall counter names, integer core first."""
+        return cls.INT_STALL_FIELDS + cls.FP_STALL_FIELDS
+
+    def total_stalls(self) -> int:
+        """Sum of every stall counter on both issue engines."""
+        return sum(getattr(self, name) for name in self.stall_fields())
+
     def copy(self) -> "Counters":
         return Counters(**vars(self))
 

@@ -45,7 +45,7 @@ from .errors import SimulationError
 from .memory import Memory
 from .scheduler import Scheduler
 from .ssr import SSR
-from .trace import TraceEvent
+from ..obs.timeline import TraceEvent
 
 __all__ = ["Machine", "SimulationError"]
 
@@ -63,6 +63,11 @@ class Machine:
         self.ssr_enabled = False
         #: Issue-event log; None (disabled) unless enable_trace() ran.
         self.trace: list[TraceEvent] | None = None
+        #: Structured-event sink (repro.obs.ObsSink); None when off.
+        self.obs = None
+        #: Hierarchical scope this core emits under, e.g.
+        #: ``soc/cluster0/core2`` (set by attach_obs).
+        self.obs_scope = "core"
         # -- cluster hooks (all None/0 for a standalone core) -----------
         #: Core index within a cluster (bank-stagger offset, DMA owner).
         self.core_id = 0
@@ -79,6 +84,18 @@ class Machine:
         self.trace = []
         self.sched._trace = self.trace
         return self.trace
+
+    def attach_obs(self, sink, scope: str = "core") -> None:
+        """Emit structured events into *sink* under *scope*.
+
+        Pass ``None`` to detach.  Cluster/SoC machines call this on
+        every core with the proper hierarchical scope; a standalone
+        core defaults to plain ``core``.
+        """
+        self.obs = sink
+        self.obs_scope = scope
+        self.sched._obs = sink
+        self.sched._obs_scope = scope
 
     # ------------------------------------------------------------------
     # architectural helpers

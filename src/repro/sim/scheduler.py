@@ -51,7 +51,7 @@ from .decode import (
 )
 from .errors import SimulationError
 from .icache import L0Cache
-from .trace import TraceEvent
+from ..obs.timeline import TraceEvent
 
 _MASK32 = 0xFFFFFFFF
 _HALT_PC = 1 << 60
@@ -75,7 +75,7 @@ class Scheduler:
         "_ssr_fill_latency", "_fp_response_latency",
         # machine snapshot
         "_iregs", "_fregs", "_mem", "_ssrs", "_n_ssrs", "_tcdm",
-        "_core_id", "_read_index", "_trace",
+        "_core_id", "_read_index", "_trace", "_obs", "_obs_scope",
     )
 
     def __init__(self, machine) -> None:
@@ -133,6 +133,8 @@ class Scheduler:
         self._core_id = m.core_id
         self._read_index = m._read_index
         self._trace = m.trace
+        self._obs = m.obs
+        self._obs_scope = m.obs_scope
 
     # ------------------------------------------------------------------
     @property
@@ -320,9 +322,19 @@ class Scheduler:
         with transfers.
         """
         m = self.m
+        obs = self._obs
+        flow = obs.next_flow() if obs is not None else None
+        if obs is not None:
+            obs.emit(self._obs_scope, "int", "dma.start", start, 1,
+                     "dma", {"bytes": length}, flow, "s")
         if m.dma is not None:
             done = m.dma.start(m.core_id, dst, src, length,
                                now=start + 1)
+            if obs is not None:
+                dma_scope = getattr(m.dma, "obs_scope", None)
+                if dma_scope is not None:
+                    obs.emit(dma_scope, "dma", "dma.done", done, 0,
+                             "dma", {"bytes": length}, flow, "f")
         else:
             done = start + 1
         self._mem.copy_within(dst, src, length)
@@ -443,6 +455,11 @@ class Scheduler:
             if m.dma is not None:
                 t = m.dma.core_drain_time(self._core_id)
                 if t > start:
+                    obs = self._obs
+                    if obs is not None:
+                        obs.emit(self._obs_scope, "int", "dma.wait",
+                                 start, t - start, "dma",
+                                 {"stall": t - start})
                     cd["stall_dma"] += t - start
                     start = t
         elif special == S_BARRIER:
@@ -470,6 +487,10 @@ class Scheduler:
         trace = self._trace
         if trace is not None:
             trace.append(TraceEvent("int", start, op.mnemonic, pc))
+        obs = self._obs
+        if obs is not None:
+            obs.emit(self._obs_scope, "int", op.mnemonic, start, 1,
+                     "issue", {"pc": pc})
         counter = op.counter
         if counter is not None:
             cd[counter] += 1
@@ -544,6 +565,10 @@ class Scheduler:
         trace = self._trace
         if trace is not None:
             trace.append(TraceEvent("int", disp, op.mnemonic, pc))
+        obs = self._obs
+        if obs is not None:
+            obs.emit(self._obs_scope, "int", op.mnemonic, disp, 1,
+                     "dispatch", {"pc": pc})
 
         queue.append(self._fpss_issue(op, disp + 1))
 
@@ -705,6 +730,10 @@ class Scheduler:
             trace.append(TraceEvent("fp", start, op.mnemonic,
                                     None if sequencer else -1,
                                     sequencer))
+        obs = self._obs
+        if obs is not None:
+            obs.emit(self._obs_scope, "fp", op.mnemonic, start, 1,
+                     "issue", {"seq": True} if sequencer else None)
         counter = op.counter
         if counter is not None:
             cd[counter] += 1

@@ -1,92 +1,34 @@
-"""Issue-event tracing and dual-issue timeline rendering.
+"""Deprecated shim: issue tracing moved to :mod:`repro.obs`.
 
-Enable with :meth:`Machine.enable_trace` before running; every issue
-event (integer core, FP dispatch, FPSS issue, sequencer replay) is
-recorded with its cycle.  :func:`render_timeline` draws the two issue
-engines as parallel lanes — the overlap the whole paper is about
-becomes directly visible:
-
-    cycle     INT lane            FP lane
-      112     addi                fmadd.d   <- sequencer
-      113     lw                  fmul.d    <- sequencer
-      ...
-
-Tracing costs one branch per instruction when disabled and is off by
-default.
+``repro.sim.trace`` grew into the unified observability layer —
+import :class:`TraceEvent`, :func:`render_timeline`,
+:func:`dual_issue_cycles` and :func:`lane_utilization` from
+``repro.obs`` (or ``repro.obs.timeline``) instead.  This module
+re-exports them unchanged and will be removed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
+warnings.warn(
+    "repro.sim.trace is deprecated; import TraceEvent, "
+    "render_timeline, dual_issue_cycles and lane_utilization from "
+    "repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One issue event.
+from ..obs.timeline import (  # noqa: E402,F401
+    TraceEvent,
+    dual_issue_cycles,
+    lane_utilization,
+    render_timeline,
+)
 
-    Attributes:
-        engine: ``int`` (integer core), ``fp`` (FPSS issue).
-        cycle: Issue cycle on that engine's timeline.
-        mnemonic: Instruction mnemonic.
-        pc: Static instruction index (None for sequencer replays).
-        sequencer: True when the FPSS issue came from the FREP buffer.
-    """
-
-    engine: str
-    cycle: int
-    mnemonic: str
-    pc: int | None = None
-    sequencer: bool = False
-
-
-def render_timeline(events: list[TraceEvent], start: int = 0,
-                    end: int | None = None,
-                    width: int = 18) -> str:
-    """Render both issue lanes side by side for cycles [start, end).
-
-    Cycles where neither engine issues are elided with a ``...`` row.
-    """
-    if end is None:
-        end = max((e.cycle for e in events), default=0) + 1
-    int_lane: dict[int, str] = {}
-    fp_lane: dict[int, str] = {}
-    for event in events:
-        if not start <= event.cycle < end:
-            continue
-        if event.engine == "int":
-            int_lane[event.cycle] = event.mnemonic
-        else:
-            suffix = "  <seq" if event.sequencer else ""
-            fp_lane[event.cycle] = event.mnemonic + suffix
-    lines = [f"{'cycle':>7}  {'integer core':<{width}} {'FPSS':<{width}}"]
-    lines.append("-" * (9 + 2 * width))
-    gap = False
-    for cycle in range(start, end):
-        int_op = int_lane.get(cycle)
-        fp_op = fp_lane.get(cycle)
-        if int_op is None and fp_op is None:
-            gap = True
-            continue
-        if gap:
-            lines.append(f"{'...':>7}")
-            gap = False
-        lines.append(f"{cycle:>7}  {int_op or '':<{width}} "
-                     f"{fp_op or '':<{width}}")
-    return "\n".join(lines)
-
-
-def dual_issue_cycles(events: list[TraceEvent]) -> int:
-    """Number of cycles where both engines issued an instruction."""
-    int_cycles = {e.cycle for e in events if e.engine == "int"}
-    fp_cycles = {e.cycle for e in events if e.engine == "fp"}
-    return len(int_cycles & fp_cycles)
-
-
-def lane_utilization(events: list[TraceEvent],
-                     cycles: int) -> tuple[float, float]:
-    """(integer, FP) issue-slot utilization over *cycles*."""
-    if cycles == 0:
-        return (0.0, 0.0)
-    int_count = sum(1 for e in events if e.engine == "int")
-    fp_count = sum(1 for e in events if e.engine == "fp")
-    return (int_count / cycles, fp_count / cycles)
+__all__ = [
+    "TraceEvent",
+    "dual_issue_cycles",
+    "lane_utilization",
+    "render_timeline",
+]

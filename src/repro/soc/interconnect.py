@@ -51,6 +51,10 @@ class SocInterconnect:
             {} for _ in range(n_clusters)
         ]
         self._claim_count = 0
+        #: Structured-event sink (repro.obs.ObsSink); None when off.
+        self.obs = None
+        #: Scope link events are emitted under (the owning SoC).
+        self.obs_scope = "soc"
 
     # ------------------------------------------------------------------
     def _ideal_done(self, nbeats: int, start: int) -> int:
@@ -73,7 +77,13 @@ class SocInterconnect:
             return start
         if not self.enabled:
             stats.beats += nbeats
-            return self._ideal_done(nbeats, start)
+            done = self._ideal_done(nbeats, start)
+            obs = self.obs
+            if obs is not None:
+                obs.emit(self.obs_scope, f"link{cluster_id}",
+                         "link.grant", start, done - start, "link",
+                         {"beats": nbeats, "stall": 0})
+            return done
         link_cap = self.link_beats_per_cycle
         cluster_cap = self.max_beats_per_cluster
         claims = self._claims
@@ -87,7 +97,14 @@ class SocInterconnect:
             mine[t] = mine.get(t, 0) + 1
             self._claim_count += 1
         stats.beats += nbeats
-        stats.stall_cycles += t - self._ideal_done(nbeats, start)
+        stall = t - self._ideal_done(nbeats, start)
+        stats.stall_cycles += stall
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self.obs_scope, f"link{cluster_id}",
+                     "link.retry" if stall else "link.grant", start,
+                     t - start, "link",
+                     {"beats": nbeats, "stall": stall})
         if self._claim_count > (1 << 20):
             self._prune(t)
         return t

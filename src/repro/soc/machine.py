@@ -89,10 +89,21 @@ class SocDmaChannel(TransferEngine):
         """Tally a transfer's L2-window endpoints on the shared L2."""
         if self.l2 is None:
             return
+        obs = self.interconnect.obs
         if transfer.src >= self.window_base:
             self.l2.note_read(transfer.nbytes)
+            if obs is not None:
+                obs.emit(self.interconnect.obs_scope, "l2", "l2.read",
+                         transfer.done, 0, "l2",
+                         {"bytes": transfer.nbytes,
+                          "cluster": self.cluster_id})
         if transfer.dst >= self.window_base:
             self.l2.note_write(transfer.nbytes)
+            if obs is not None:
+                obs.emit(self.interconnect.obs_scope, "l2", "l2.write",
+                         transfer.done, 0, "l2",
+                         {"bytes": transfer.nbytes,
+                          "cluster": self.cluster_id})
 
 
 @dataclass
@@ -176,6 +187,30 @@ class SocMachine:
         )
         self.l2 = L2Memory(self.config.l2_size)
         self.clusters: list[ClusterMachine] = []
+        #: Structured-event sink (repro.obs.ObsSink); None when off.
+        self.obs = None
+        #: Scope this SoC emits under (root of the hierarchy).
+        self.obs_scope = "soc"
+        self._tracing = False
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, sink, scope: str = "soc") -> None:
+        """Observe the whole SoC: interconnect links, L2 traffic and
+        every cluster (present and future) with its cores, banks and
+        DMA channel.  Pass ``None`` to detach."""
+        self.obs = sink
+        self.obs_scope = scope
+        self.interconnect.obs = sink
+        self.interconnect.obs_scope = scope
+        for cluster in self.clusters:
+            cluster.attach_obs(
+                sink, f"{scope}/cluster{cluster.cluster_id}")
+
+    def enable_trace(self) -> list[list[list]]:
+        """Record issue events on every core of every cluster (present
+        and future); returns the per-cluster, per-core event lists."""
+        self._tracing = True
+        return [cluster.enable_trace() for cluster in self.clusters]
 
     # ------------------------------------------------------------------
     def add_cluster(self, cluster_config: "ClusterConfig | None" = None
@@ -206,6 +241,11 @@ class SocMachine:
                                  core_config=self.core_config,
                                  dma=channel)
         cluster.cluster_id = cluster_id
+        if self.obs is not None:
+            cluster.attach_obs(self.obs,
+                               f"{self.obs_scope}/cluster{cluster_id}")
+        if self._tracing:
+            cluster.enable_trace()
         self.clusters.append(cluster)
         return cluster
 

@@ -56,8 +56,14 @@ class SocWorkload:
     def run(self, config: SocConfig | None = None,
             core_config: CoreConfig | None = None,
             check: bool = True,
-            max_steps: int = 200_000_000) -> SocRunResult:
-        """Simulate the workload on an SoC sized to fit it."""
+            max_steps: int = 200_000_000,
+            obs=None) -> SocRunResult:
+        """Simulate the workload on an SoC sized to fit it.
+
+        *obs* is an optional :class:`repro.obs.ObsSink` observing the
+        whole hierarchy (interconnect links, L2, every cluster's
+        cores/banks/DMA) under the ``soc`` scope.
+        """
         config = config or SocConfig()
         if config.n_clusters != self.n_clusters:
             config = replace(config, n_clusters=self.n_clusters)
@@ -69,6 +75,8 @@ class SocWorkload:
                                 writeback=self.writeback),
             )
         soc = SocMachine(config=config, core_config=core_config)
+        if obs is not None:
+            soc.attach_obs(obs, "soc")
         for c, workload in enumerate(self.cluster_workloads):
             cluster = soc.add_cluster()
             for m, instance in enumerate(workload.instances):

@@ -36,7 +36,7 @@ def test_every_example_has_a_test():
     """CI smoke coverage: no example script may go untested."""
     tested = {"quickstart.py", "softmax_llm.py", "montecarlo_pi.py",
               "custom_kernel_copift.py", "pipeline_timeline.py",
-              "sweep_backends.py", "soc_sweep.py"}
+              "sweep_backends.py", "soc_sweep.py", "trace_kernel.py"}
     on_disk = {p.name for p in EXAMPLES.glob("*.py")}
     assert on_disk == tested
 
@@ -71,3 +71,14 @@ def test_pipeline_timeline():
     out = run_example("pipeline_timeline.py")
     assert "<seq" in out
     assert "dual-issue cycles" in out
+
+
+def test_trace_kernel(tmp_path, monkeypatch):
+    out_path = tmp_path / "dither-trace.json"
+    monkeypatch.setattr(
+        "sys.argv", ["trace_kernel.py", f"--out={out_path}"])
+    out = run_example("trace_kernel.py")
+    assert "<seq" in out
+    assert "cycles attributed exactly" in out
+    assert "Chrome trace events" in out
+    assert out_path.exists()

@@ -7,7 +7,7 @@ from repro.sim import Allocator, Machine, Memory
 from repro.sim.ssr import (
     F_BOUND0, F_RPTR, F_STATUS, F_STRIDE0, F_WPTR, encode_cfg_imm,
 )
-from repro.sim.trace import (
+from repro.obs import (
     TraceEvent,
     dual_issue_cycles,
     lane_utilization,
@@ -118,3 +118,20 @@ class TestRendering:
         text = render_timeline(events, start=10, end=12)
         assert "10" in text and "11" in text
         assert "     13" not in text
+
+
+class TestDeprecatedShim:
+    def test_sim_trace_warns_and_reexports(self):
+        """``repro.sim.trace`` still works but points at repro.obs."""
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.sim.trace", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.sim.trace")
+        assert any(issubclass(w.category, DeprecationWarning)
+                   and "repro.obs" in str(w.message) for w in caught)
+        assert shim.TraceEvent is TraceEvent
+        assert shim.render_timeline is render_timeline
