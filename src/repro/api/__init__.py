@@ -44,6 +44,7 @@ from .backend import (
     parse_backend,
     record_from_instance,
 )
+from .fingerprint import timing_fingerprint
 from .record import SCHEMA_VERSION, ClusterDetail, RunRecord, SocDetail
 from .sweep import Sweep
 from .workload import VARIANTS, Workload, pair
@@ -71,5 +72,6 @@ __all__ = [
     "pair",
     "parse_backend",
     "record_from_instance",
+    "timing_fingerprint",
     "write_output",
 ]

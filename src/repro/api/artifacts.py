@@ -26,7 +26,8 @@ from typing import Any, Callable
 #: CLI flags every artifact shares; per-artifact extra flags must not
 #: collide with these (or with each other).
 SHARED_FLAGS = ("--list", "--n", "--full", "--cores", "--jobs",
-                "--out", "--json", "--trace", "--profile")
+                "--out", "--json", "--trace", "--profile",
+                "--cache-dir", "--no-cache", "--serve")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,101 @@
+"""Timing-model fingerprint: one hash naming the current simulator.
+
+A cached :class:`~repro.api.record.RunRecord` is only reusable while
+the *timing model* that produced it is unchanged.  The repo already has
+a canonical statement of that model: the golden file
+(``tests/golden/golden_n512.json``), regenerated exactly when a PR
+intentionally changes timing, plus the energy-model constants (which
+turn cycles into power/energy without being locked by the goldens).
+:func:`timing_fingerprint` hashes both into one hex digest; the serve
+layer (:mod:`repro.serve`) builds every cache key on it, so editing the
+golden file — or any energy constant — automatically invalidates every
+affected cache entry without bookkeeping.
+
+The golden file is located relative to the source tree (development
+checkouts) or the working directory (installed packages driven from a
+repo root).  When neither exists the fingerprint degrades to a
+deterministic ``golden:absent`` sentinel: caching still works within
+that environment, it just cannot distinguish golden revisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import fields
+
+from ..energy import ClusterEnergyParams, EnergyParams, SocEnergyParams
+
+#: Relative location of the timing goldens inside a repo checkout.
+GOLDEN_RELPATH = os.path.join("tests", "golden", "golden_n512.json")
+
+
+def default_golden_path() -> str | None:
+    """The golden file backing the fingerprint, or None when absent.
+
+    Tried in order: the repo root this source tree lives in (editable
+    installs / ``PYTHONPATH=src``), then the current working directory
+    (installed package driven from a checkout).
+    """
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    for root in (src_root, os.getcwd()):
+        candidate = os.path.join(root, GOLDEN_RELPATH)
+        if os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+def _energy_constants_blob() -> bytes:
+    """Stable byte encoding of every energy-model constant."""
+    parts = []
+    for params_cls in (EnergyParams, ClusterEnergyParams,
+                       SocEnergyParams):
+        params = params_cls()
+        for field in fields(params_cls):
+            parts.append(f"{params_cls.__name__}.{field.name}="
+                         f"{getattr(params, field.name)!r}")
+    return ";".join(parts).encode()
+
+
+#: Memoized digests keyed by (path, mtime_ns, size) — recomputed the
+#: moment the golden file changes, never stale within a process.
+_CACHE: dict[tuple, str] = {}
+
+
+def timing_fingerprint(golden_path: str | None = None) -> str:
+    """Hex digest naming the current timing + energy model.
+
+    Stable across runs and processes for an unchanged tree; changes
+    whenever the golden file's bytes or any energy constant change.
+    *golden_path* overrides the default golden location (tests use a
+    temporary copy to prove sensitivity to edits).
+    """
+    path = golden_path if golden_path is not None \
+        else default_golden_path()
+    if path is None:
+        stamp: tuple = ("<absent>",)
+    else:
+        try:
+            stat = os.stat(path)
+        except OSError as exc:
+            raise FileNotFoundError(
+                f"timing fingerprint: cannot read golden file {path}: "
+                f"{exc.strerror or exc}"
+            ) from None
+        stamp = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+    cached = _CACHE.get(stamp)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    if path is None:
+        digest.update(b"golden:absent")
+    else:
+        with open(path, "rb") as handle:
+            digest.update(b"golden:")
+            digest.update(handle.read())
+    digest.update(b"\nenergy:")
+    digest.update(_energy_constants_blob())
+    fingerprint = digest.hexdigest()
+    _CACHE[stamp] = fingerprint
+    return fingerprint

@@ -73,12 +73,24 @@ class Sweep:
         """The sweep cells, workload-major, in execution order."""
         return [(w, b) for w in self.workloads for b in self.backends]
 
-    def run(self, jobs: int = 1, check: bool = False) -> list[RunRecord]:
+    def run(self, jobs: int = 1, check: bool = False,
+            cache=None) -> list[RunRecord]:
         """Execute every cell; records come back in :meth:`cells` order.
 
         ``jobs=1`` runs inline (no pool); higher values shard batched
         cells over that many host processes.  Output is identical for
         every *jobs* value.
+
+        *cache* selects the result store consulted per cell **before**
+        sharding: ``None`` (default) uses the ambient
+        :func:`repro.serve.active_store` (none, unless a caller such as
+        the eval CLI activated one), ``False`` disables caching for
+        this run, and a :class:`repro.serve.RunStore` is used directly.
+        Identical cells within the sweep are always simulated once and
+        fanned out (the very record object is shared, so payloads stay
+        byte-identical); ``check=True`` bypasses the persistent store —
+        a cached record cannot attest a fresh output verification —
+        but keeps the in-sweep dedupe.
         """
         # Imported here, not at module top: repro.eval's package init
         # imports the artifact modules (which import repro.api), so a
@@ -88,19 +100,59 @@ class Sweep:
             shard_evenly,
             validate_jobs,
         )
+        from ..serve.client import active_store
+        from ..serve.store import cache_key
 
         validate_jobs(jobs)
-        indexed = [(i, w, b, check)
-                   for i, (w, b) in enumerate(self.cells())]
-        if jobs == 1 or len(indexed) <= 1:
-            return [record for _, record in _run_batch(indexed)]
-        batches = shard_evenly(indexed,
-                               min(len(indexed), jobs * _BATCHES_PER_JOB))
-        merged = [pair
-                  for batch in run_sharded(_run_batch, batches, jobs=jobs)
-                  for pair in batch]
-        merged.sort(key=lambda pair: pair[0])
-        return [record for _, record in merged]
+        if cache is None:
+            store = active_store()
+        else:
+            store = cache or None
+        cells = self.cells()
+        records: list[RunRecord | None] = [None] * len(cells)
+        fingerprint = store.fingerprint if store is not None else None
+        leaders: dict[str, int] = {}
+        followers: dict[int, int] = {}   # follower index -> leader
+        pending: list[tuple] = []
+        keys: list[str | None] = []
+        for i, (w, b) in enumerate(cells):
+            key = cache_key(w, b, fingerprint=fingerprint)
+            keys.append(key)
+            if key is not None and store is not None and not check:
+                cached = store.lookup(w, b, key=key)
+                if cached is not None:
+                    records[i] = cached
+                    continue
+            if key is not None and key in leaders:
+                followers[i] = leaders[key]
+                if store is not None:
+                    store.stats.deduped += 1
+                continue
+            if key is not None:
+                leaders[key] = i
+            pending.append((i, w, b, check))
+
+        if len(pending) == 1 or jobs == 1:
+            computed = _run_batch(pending)
+        elif pending:
+            batches = shard_evenly(
+                pending, min(len(pending), jobs * _BATCHES_PER_JOB))
+            computed = [pair
+                        for batch in run_sharded(_run_batch, batches,
+                                                 jobs=jobs)
+                        for pair in batch]
+        else:
+            computed = []
+        for index, record in computed:
+            records[index] = record
+            if store is not None and not check \
+                    and keys[index] is not None:
+                workload, backend = cells[index]
+                store.save(workload, backend, record,
+                           key=keys[index])
+        for follower, leader in followers.items():
+            records[follower] = records[leader]
+        return records
 
     def index(self, records: Sequence[RunRecord]
               ) -> dict[tuple[Workload, str], RunRecord]:

@@ -34,6 +34,17 @@ machine-readable JSON payload.
 *sharded* in the registry over N host processes.  Sweeps are
 deterministic per cell, so the output is bit-identical for every N;
 the flag only changes wall-clock time.
+
+**Caching**: artifact sweeps consult a content-addressed result store
+(:mod:`repro.serve`) per cell, so a warm re-run performs zero
+simulations and emits byte-identical output.  ``--cache-dir DIR``
+names the store (default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-eval``); ``--no-cache`` is the escape hatch; a
+cache summary goes to stderr so stdout payloads stay byte-identical
+either way.  ``--list --json`` includes the store's entry counts and
+cumulative hit/miss stats.  ``--serve`` (no artifact name) runs the
+long-lived JSON-lines evaluation service on stdin/stdout instead —
+see :mod:`repro.serve.protocol` for the wire format.
 """
 
 from __future__ import annotations
@@ -112,6 +123,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="Append the representative cell's "
                              "cycle-attribution profile tree and "
                              "metrics to the artifact output.")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="Content-addressed result store consulted "
+                             "per sweep cell (default $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-eval).")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="Bypass the result store: simulate every "
+                             "cell and persist nothing.")
+    parser.add_argument("--serve", action="store_true",
+                        help="Run the long-lived evaluation service "
+                             "(JSON-lines over stdin/stdout) instead "
+                             "of one artifact; honours --cache-dir/"
+                             "--no-cache/--jobs.")
     # Per-artifact extra flags come from the registry; the dispatcher
     # accepts them all and validates ownership after parsing, so a
     # flag given to the wrong artifact gets one clear line (same
@@ -129,10 +153,46 @@ def main(argv: list[str] | None = None) -> int:
                             help=f"{flag.help} ({names} only)")
     args = parser.parse_args(argv)
 
+    from ..serve import CacheError, resolve_store, use_store
+
+    if args.no_cache and args.cache_dir is not None:
+        parser.error(
+            f"--no-cache and --cache-dir {args.cache_dir} are "
+            f"mutually exclusive; drop one"
+        )
+
+    if args.serve:
+        for name, given in (("--list", args.list_),
+                            ("--out", args.out is not None),
+                            ("--json", args.json),
+                            ("--trace", args.trace is not None),
+                            ("--profile", args.profile),
+                            ("an artifact name",
+                             args.artifact is not None)):
+            if given:
+                parser.error(
+                    f"--serve runs the JSON-lines service on "
+                    f"stdin/stdout and does not take {name}"
+                )
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        from ..serve.__main__ import serve_main
+        return serve_main(cache_dir=args.cache_dir,
+                          no_cache=args.no_cache, jobs=args.jobs)
+
     if args.list_:
         text = "registered artifacts:\n" + artifacts.describe()
-        write_output(text, artifacts.describe_json(), args.out,
-                     args.json)
+        payload = artifacts.describe_json()
+        try:
+            store = resolve_store(args.cache_dir,
+                                  no_cache=args.no_cache)
+        except CacheError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        payload["cache"] = {"enabled": store is not None}
+        if store is not None:
+            payload["cache"].update(store.describe())
+        write_output(text, payload, args.out, args.json)
         return 0
     if args.artifact is None:
         parser.error("an artifact name is required (see --list)")
@@ -179,8 +239,22 @@ def main(argv: list[str] | None = None) -> int:
     request = ArtifactRequest(n=args.n, full=args.full,
                               cores=args.cores, jobs=args.jobs,
                               extras=extras)
-    result = spec.run(request)
+    try:
+        store = resolve_store(args.cache_dir, no_cache=args.no_cache)
+        with use_store(store):
+            result = spec.run(request)
+    except CacheError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     text, payload = result.text, result.payload
+    if store is not None:
+        # Summary to stderr (never stdout): cached and uncached runs
+        # must emit byte-identical payloads.
+        s = store.stats
+        print(f"cache: {s.hits} hits, {s.misses} misses, "
+              f"{s.deduped} deduped, {s.stores} stored "
+              f"({store.root})", file=sys.stderr)
+        store.flush_stats()
 
     if observing:
         # The representative cell re-runs *inline* (never through the

@@ -66,6 +66,17 @@ def run_sharded(worker: Callable[[Cell], Result],
         return list(pool.map(worker, cells))
 
 
+def run_cell(cell):
+    """Pool worker: simulate one ``(workload, backend)`` cell.
+
+    Module-level (picklable by reference) so the long-lived serve-layer
+    pool (:class:`repro.serve.EvalService`) can ship cells to warm
+    worker processes the same way sweep sharding does.
+    """
+    workload, backend = cell
+    return backend.run(workload, check=False)
+
+
 def shard_evenly(cells: Iterable[Cell], shards: int) -> list[list[Cell]]:
     """Round-robin split of *cells* into *shards* non-empty-ish lists.
 

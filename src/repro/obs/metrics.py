@@ -122,6 +122,11 @@ class MetricsRegistry:
             raise ValueError(f"duplicate metric {metric.name!r}")
         self.metrics.append(metric)
 
+    def register_many(self, metrics) -> None:
+        """Register several metrics, same duplicate rules as one."""
+        for metric in metrics:
+            self.register(metric)
+
     def collect(self, record) -> dict:
         """Extract every applicable metric from *record*, in order."""
         out: dict = {}

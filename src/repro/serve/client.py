@@ -1,0 +1,62 @@
+"""Cache activation for in-process clients.
+
+The :class:`~repro.api.Sweep` executor consults whatever store is
+*active* — artifacts build their sweeps internally, so the cache is
+threaded through ambient state rather than every artifact signature.
+The ``python -m repro.eval`` dispatcher activates the resolved store
+around each artifact run (:func:`use_store`); library code sees no
+cache unless it opts in (``Sweep.run(cache=...)`` or an explicit
+:func:`use_store` block).
+
+Resolution order for the cache directory: an explicit ``--cache-dir``,
+the ``REPRO_CACHE_DIR`` environment variable, then the per-user
+default (``~/.cache/repro-eval``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .store import RunStore
+
+#: Environment override for the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_ACTIVE: list[RunStore] = []
+
+
+def default_cache_dir() -> str:
+    """The cache directory used when none is named explicitly."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache",
+                        "repro-eval")
+
+
+def resolve_store(cache_dir: str | None = None,
+                  no_cache: bool = False) -> RunStore | None:
+    """Build the store the CLI flags select (None when disabled)."""
+    if no_cache:
+        return None
+    return RunStore(cache_dir or default_cache_dir())
+
+
+def active_store() -> RunStore | None:
+    """The store in-process sweeps currently consult, if any."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def use_store(store: RunStore | None):
+    """Activate *store* for the dynamic extent of the block.
+
+    ``use_store(None)`` is an explicit cache-off scope, shadowing any
+    outer activation (the ``--no-cache`` escape hatch).
+    """
+    _ACTIVE.append(store)
+    try:
+        yield store
+    finally:
+        _ACTIVE.pop()

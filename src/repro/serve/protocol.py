@@ -1,0 +1,181 @@
+"""JSON-lines wire protocol of the evaluation service.
+
+One request per line, one response line per request, ids echoed back
+so clients may pipeline.  Requests::
+
+    {"id": 1, "op": "run", "workload": {"kernel": "expf",
+     "variant": "copift", "n": 4096}, "backend": "cluster:4"}
+    {"id": 2, "op": "stats"}
+    {"id": 3, "op": "ping"}
+    {"op": "shutdown"}
+
+Responses::
+
+    {"id": 1, "ok": true, "status": "hit",
+     "record": { ...RunRecord.to_json()... }}
+    {"id": 2, "ok": true, "stats": { ... }}
+    {"id": 9, "ok": false, "error": "one-line reason"}
+
+``status`` is ``hit`` (content-addressed store), ``coalesced``
+(shared an identical in-flight simulation) or ``miss`` (simulated for
+this request).  Responses arrive in **completion order** — a warm hit
+overtakes a cold simulation — which is why ids exist.
+
+:func:`serve_session` drives one full session over any async line
+source and sync line sink; ``python -m repro.serve`` (and
+``python -m repro.eval --serve``) wire it to stdin/stdout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+from ..api.backend import parse_backend
+from ..api.workload import Workload
+from .store import CacheError
+
+#: Accepted operations, in documentation order.
+OPS = ("run", "stats", "ping", "shutdown")
+
+#: Workload-spec keys a ``run`` request may carry.
+WORKLOAD_KEYS = ("kernel", "variant", "n", "block", "seed")
+
+
+class ProtocolError(ValueError):
+    """A request line the server cannot act on (one-line reason).
+
+    ``request_id`` carries the offending request's id when the line
+    was at least valid JSON, so the error response can be correlated.
+    """
+
+    def __init__(self, message: str, request_id=None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request."""
+
+    op: str
+    id: object = None
+    workload: Workload | None = None
+    backend: object = None
+
+
+def _one_line(exc: BaseException) -> str:
+    return " ".join(str(exc).split())
+
+
+def decode_request(line: str) -> Request:
+    """Parse one request line, validating everything up front."""
+    try:
+        data = json.loads(line)
+    except ValueError:
+        raise ProtocolError(
+            f"request is not valid JSON: {line.strip()[:120]!r}"
+        ) from None
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    request_id = data.get("id")
+    op = data.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of: " + ", ".join(OPS),
+            request_id=request_id,
+        )
+    if op != "run":
+        return Request(op=op, id=request_id)
+    spec = data.get("workload")
+    if not isinstance(spec, dict) or "kernel" not in spec:
+        raise ProtocolError(
+            "run request needs a 'workload' object with at least a "
+            "'kernel' key", request_id=request_id,
+        )
+    unknown = sorted(set(spec) - set(WORKLOAD_KEYS))
+    if unknown:
+        raise ProtocolError(
+            f"unknown workload keys {unknown}; accepted: "
+            + ", ".join(WORKLOAD_KEYS), request_id=request_id,
+        )
+    backend_spec = data.get("backend", "core")
+    try:
+        workload = Workload(**spec)
+        backend = parse_backend(backend_spec)
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(_one_line(exc),
+                            request_id=request_id) from None
+    return Request(op="run", id=request_id, workload=workload,
+                   backend=backend)
+
+
+def encode_response(request_id=None, ok: bool = True,
+                    **payload) -> str:
+    """One response line (no trailing newline), ids echoed back."""
+    body = {"id": request_id, "ok": ok}
+    body.update(payload)
+    return json.dumps(body, sort_keys=True)
+
+
+async def serve_session(service, lines, write) -> int:
+    """Drive one protocol session until EOF or ``shutdown``.
+
+    Args:
+        service: An :class:`~repro.serve.service.EvalService`.
+        lines: Async iterator yielding raw request lines.
+        write: Sync callable sending one response line.
+
+    Returns the number of requests handled.  ``run`` requests execute
+    concurrently (that is what makes coalescing observable over the
+    wire); malformed lines get an error response and the session
+    continues.
+    """
+    handled = 0
+    tasks: set[asyncio.Task] = set()
+
+    async def run_one(request: Request) -> None:
+        try:
+            record, status = await service.evaluate(
+                request.workload, request.backend)
+            write(encode_response(request.id, status=status,
+                                  record=record.to_json()))
+        except (CacheError, ProtocolError, ValueError) as exc:
+            write(encode_response(request.id, ok=False,
+                                  error=_one_line(exc)))
+        except Exception as exc:  # worker/pool failures stay per-request
+            write(encode_response(
+                request.id, ok=False,
+                error=f"{type(exc).__name__}: {_one_line(exc)}"))
+
+    async for line in lines:
+        if not line.strip():
+            continue
+        handled += 1
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            write(encode_response(exc.request_id, ok=False,
+                                  error=str(exc)))
+            continue
+        if request.op == "ping":
+            write(encode_response(request.id, pong=True))
+        elif request.op == "stats":
+            write(encode_response(request.id,
+                                  stats=service.stats_json()))
+        elif request.op == "shutdown":
+            write(encode_response(request.id, shutdown=True))
+            break
+        else:
+            task = asyncio.ensure_future(run_one(request))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    if tasks:
+        await asyncio.gather(*tasks)
+    return handled

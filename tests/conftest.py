@@ -1,8 +1,25 @@
-"""Shared fixtures: the paper's Figure 1b listing as a test vector."""
+"""Shared fixtures: the paper's Figure 1b listing as a test vector,
+plus cache isolation — the eval CLI consults a content-addressed
+result store by default (``repro.serve``), so the suite pins
+``REPRO_CACHE_DIR`` to a session-scoped temp dir: tests exercise the
+real caching path without touching (or depending on) ``~/.cache``."""
+
+import os
 
 import pytest
 
 from repro.isa import parse
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    already = os.environ.get("REPRO_CACHE_DIR")
+    if already is None:
+        os.environ["REPRO_CACHE_DIR"] = str(
+            tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if already is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
 
 #: The paper's Figure 1b: the RV32G expf inner block.  Symbolic operands
 #: are mapped to concrete registers: InvLn2N=ft3, SHIFT=ft4, C0..C3=

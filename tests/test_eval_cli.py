@@ -501,3 +501,108 @@ class TestJobsDeterminism:
             n=512, shapes=((1, 2), (2, 2)), jobs=3))
         assert json.dumps(seq, sort_keys=True) \
             == json.dumps(par, sort_keys=True)
+
+
+class TestCacheCLI:
+    """The dispatcher's cache surface: flag validation, one-line
+    errors, the warm-run acceptance criterion and --list --json."""
+
+    def test_no_cache_and_cache_dir_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--no-cache", "--cache-dir", "/tmp/x"])
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
+        assert "/tmp/x" in err
+
+    def test_cache_dir_at_a_file_names_the_path(self, tmp_path,
+                                                capsys):
+        rogue = tmp_path / "rogue"
+        rogue.write_text("not a directory")
+        assert main(["fig2", "--n", "256",
+                     "--cache-dir", str(rogue)]) == 2
+        err = capsys.readouterr().err
+        assert str(rogue) in err
+        assert "not a directory" in err
+
+    def test_serve_rejects_artifact_mode_flags(self, capsys):
+        for extra in (["fig2"], ["--list"], ["--json"],
+                      ["--out", "x.json"], ["--profile"]):
+            with pytest.raises(SystemExit):
+                main(["--serve", *extra])
+            assert "--serve" in capsys.readouterr().err
+
+    def test_warm_run_is_all_hits_and_byte_identical(self, tmp_path,
+                                                     monkeypatch,
+                                                     capsys):
+        """Acceptance: a warm re-run performs zero simulations (hit
+        count == cell count) and emits byte-identical payloads to an
+        uncached run."""
+        import repro.api.sweep as sweep_mod
+        simulated = []
+        real = sweep_mod._run_batch
+
+        def counting(batch):
+            simulated.extend(batch)
+            return real(batch)
+
+        monkeypatch.setattr(sweep_mod, "_run_batch", counting)
+        cache = tmp_path / "cache"
+        bare, cold, warm = (tmp_path / "bare.json",
+                            tmp_path / "cold.json",
+                            tmp_path / "warm.json")
+        base = ["fig2", "--n", "256", "--json"]
+        assert main([*base, "--no-cache", "--out", str(bare)]) == 0
+        cells = len(simulated)
+        assert cells == 12   # 6 kernels x 2 variants
+        assert main([*base, "--cache-dir", str(cache),
+                     "--out", str(cold)]) == 0
+        assert len(simulated) == 2 * cells
+        capsys.readouterr()
+        assert main([*base, "--cache-dir", str(cache),
+                     "--out", str(warm)]) == 0
+        assert len(simulated) == 2 * cells   # zero new simulations
+        err = capsys.readouterr().err
+        assert f"cache: {cells} hits, 0 misses" in err
+        assert bare.read_bytes() == cold.read_bytes() \
+            == warm.read_bytes()
+        sidecar = json.loads((cache / "stats.json").read_text())
+        assert sidecar["hits"] == cells
+        assert sidecar["stores"] == cells
+
+    def test_golden_edit_invalidates_the_cache(self, tmp_path,
+                                               monkeypatch):
+        """Acceptance: a changed timing fingerprint invalidates every
+        affected key (the old generation is never consulted)."""
+        import repro.api.fingerprint as fp_mod
+        cache = tmp_path / "cache"
+        out = tmp_path / "out.json"
+        base = ["fig2", "--n", "256", "--json", "--out", str(out),
+                "--cache-dir", str(cache)]
+        monkeypatch.setattr(fp_mod, "timing_fingerprint",
+                            lambda golden_path=None: "aaaa" * 16)
+        monkeypatch.setattr("repro.serve.store.timing_fingerprint",
+                            fp_mod.timing_fingerprint)
+        assert main(base) == 0
+        from repro.serve import RunStore
+        old = RunStore(cache, fingerprint="aaaa" * 16)
+        assert old.describe()["entries"] == 12
+        monkeypatch.setattr(fp_mod, "timing_fingerprint",
+                            lambda golden_path=None: "bbbb" * 16)
+        monkeypatch.setattr("repro.serve.store.timing_fingerprint",
+                            fp_mod.timing_fingerprint)
+        new = RunStore(cache, fingerprint="bbbb" * 16)
+        assert new.describe()["entries"] == 0
+        assert new.describe()["stale_entries"] == 12
+
+    def test_list_json_reports_cache_state(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["--list", "--json",
+                     "--cache-dir", str(cache)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["enabled"] is True
+        assert payload["cache"]["dir"] == str(cache)
+        assert payload["cache"]["entries"] == 0
+        assert len(payload["cache"]["fingerprint"]) == 64
+        assert main(["--list", "--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"enabled": False}

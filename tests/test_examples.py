@@ -36,7 +36,8 @@ def test_every_example_has_a_test():
     """CI smoke coverage: no example script may go untested."""
     tested = {"quickstart.py", "softmax_llm.py", "montecarlo_pi.py",
               "custom_kernel_copift.py", "pipeline_timeline.py",
-              "sweep_backends.py", "soc_sweep.py", "trace_kernel.py"}
+              "sweep_backends.py", "soc_sweep.py", "trace_kernel.py",
+              "serve_client.py"}
     on_disk = {p.name for p in EXAMPLES.glob("*.py")}
     assert on_disk == tested
 
@@ -82,3 +83,12 @@ def test_trace_kernel(tmp_path, monkeypatch):
     assert "cycles attributed exactly" in out
     assert "Chrome trace events" in out
     assert out_path.exists()
+
+
+def test_serve_client():
+    out = run_example("serve_client.py")
+    assert "ping -> pong" in out
+    assert "cold request: status=miss" in out
+    assert "warm request: status=hit" in out
+    assert "byte-identical" in out
+    assert "shutdown acknowledged" in out
