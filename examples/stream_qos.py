@@ -1,0 +1,88 @@
+"""Streaming QoS: what beat-arbitration weights buy the tail latency.
+
+Runs the shipped two-class scenario (``hi``: small latency-critical
+COPIFT ``expf`` requests; ``lo``: larger bulk baseline ``logf``
+requests) through the open-loop traffic layer at a saturating offered
+load, once per policy:
+
+* ``fifo`` — arrival-order dispatch, beats served first-come-first-
+  served: the bulk class's long bursts sit in front of the critical
+  class on the shared link, and both classes' tails blur together.
+* ``priority+qos`` — priority dispatch plus the weighted-TDM
+  :class:`~repro.traffic.QosArbiter` (weights 3:1): the critical
+  class owns three quarters of the link's beat slots, so its p99
+  stays near its uncontended service time while the bulk class
+  absorbs the queueing.
+
+The arrival stream is identical in both runs (same seed, same
+classes), so the p99 movement is purely the policy.
+
+Run with::
+
+    python examples/stream_qos.py
+"""
+
+from repro.traffic import build_profiles, default_scenario, simulate
+
+#: Offered load as a fraction of the scenario's rough capacity --
+#: deliberately past the knee, where arbitration policy decides who
+#: eats the queueing.
+LOAD = 1.1
+
+DURATION = 60_000
+SEED = 1
+
+
+def main() -> None:
+    scenario = default_scenario()
+    profiles = build_profiles(scenario)
+    capacity = scenario.clusters / sum(
+        cls.share * p.cycles
+        for cls, p in zip(scenario.classes, profiles))
+    rate = LOAD * capacity
+
+    print(f"Two-class open-loop stream on a {scenario.clusters}x"
+          f"{scenario.cores} SoC, {LOAD:.0%} of estimated capacity "
+          f"({rate * 1e6:.0f} req/Mcycle) for {DURATION} cycles:")
+    for cls, profile in zip(scenario.classes, profiles):
+        print(f"  {cls.name}: {cls.kernel}/{cls.variant} n={cls.n}, "
+              f"share {cls.share:.0%}, QoS weight {cls.weight}, "
+              f"uncontended service {profile.cycles} cycles")
+    print()
+
+    results = {}
+    for policy in ("fifo", "priority+qos"):
+        # Profiles are uncontended per-class measurements: they do not
+        # depend on the policy, so both runs share one build.
+        run = simulate(default_scenario(policy=policy), profiles,
+                       rate, DURATION, SEED)
+        results[policy] = run
+        header = (f"policy {policy}: {run.completed}/{run.requests} "
+                  f"served, sustained {run.throughput * 1e6:.0f} "
+                  f"req/Mcycle, peak queue {run.peak_queue_depth}")
+        print(header)
+        for cres in run.classes:
+            stats = cres.stats()
+            print(f"  {stats.name}: p50 {stats.p50:>7} cycles, "
+                  f"p99 {stats.p99:>7} cycles "
+                  f"(queue {stats.mean_queue_cycles:.0f} + service "
+                  f"{stats.mean_service_cycles:.0f} on average)")
+        hi, lo = run.classes[0].stats(), run.classes[-1].stats()
+        print(f"  p99 separation: {lo.p99 / max(hi.p99, 1):.1f}x\n")
+
+    fifo_hi = results["fifo"].classes[0].stats()
+    qos_hi = results["priority+qos"].classes[0].stats()
+    qos_lo = results["priority+qos"].classes[-1].stats()
+    print(f"QoS moves the critical class's p99 from {fifo_hi.p99} to "
+          f"{qos_hi.p99} cycles on the same arrival stream; the bulk "
+          f"class absorbs the wait (p99 {qos_lo.p99}).")
+
+    # The claims the prose makes, checked live: QoS lowers the
+    # critical tail and separates the classes.
+    assert qos_hi.p99 < fifo_hi.p99
+    assert qos_lo.p99 > 2 * qos_hi.p99
+    print("hi p99 under priority+qos beats fifo; classes separated")
+
+
+if __name__ == "__main__":
+    main()

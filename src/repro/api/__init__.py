@@ -45,7 +45,14 @@ from .backend import (
     record_from_instance,
 )
 from .fingerprint import timing_fingerprint
-from .record import SCHEMA_VERSION, ClusterDetail, RunRecord, SocDetail
+from .record import (
+    SCHEMA_VERSION,
+    ClusterDetail,
+    RunRecord,
+    SocDetail,
+    StreamClassStats,
+    StreamDetail,
+)
 from .sweep import Sweep
 from .workload import VARIANTS, Workload, pair
 
@@ -63,6 +70,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "SocBackend",
     "SocDetail",
+    "StreamClassStats",
+    "StreamDetail",
     "Sweep",
     "VARIANTS",
     "Workload",

@@ -29,7 +29,10 @@ from ..energy import PowerReport
 #: v4: optional ``profile`` block — the observability layer's
 #:     cycle-attribution tree (``repro.obs.profile.ProfileNode``
 #:     JSON), present when the run was made with the ``obs`` knob.
-SCHEMA_VERSION = 4
+#: v5: optional ``stream_detail`` block — open-loop traffic scenarios
+#:     (``repro.traffic``): per-class latency percentiles, QoS
+#:     arbitration tallies and dispatcher occupancy.
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -174,6 +177,141 @@ class SocDetail:
 
 
 @dataclass(frozen=True)
+class StreamClassStats:
+    """One priority class's outcome in an open-loop traffic run.
+
+    Latency percentiles are total (arrival-to-completion) latencies in
+    cycles, exact nearest-rank quantiles over every completed request
+    of the class.
+
+    Attributes:
+        name: Class label.
+        weight: QoS arbitration weight the class ran with.
+        priority: Dispatch priority (larger is more urgent).
+        requests: Requests that arrived.
+        completed: Requests served to completion.
+        p50 / p95 / p99: Total-latency percentiles, in cycles.
+        mean_queue_cycles: Mean wait for a free cluster.
+        mean_service_cycles: Mean on-cluster service time (profile
+            plus QoS arbitration slip).
+        qos_beats: Interconnect beats granted to the class's DMA.
+        qos_stall_cycles: Beat-arbitration stall cycles the class
+            absorbed versus its uncontended schedule.
+    """
+
+    name: str
+    weight: int
+    priority: int
+    requests: int
+    completed: int
+    p50: int
+    p95: int
+    p99: int
+    mean_queue_cycles: float
+    mean_service_cycles: float
+    qos_beats: int = 0
+    qos_stall_cycles: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "priority": self.priority,
+            "requests": self.requests,
+            "completed": self.completed,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "mean_queue_cycles": self.mean_queue_cycles,
+            "mean_service_cycles": self.mean_service_cycles,
+            "qos_beats": self.qos_beats,
+            "qos_stall_cycles": self.qos_stall_cycles,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StreamClassStats":
+        return cls(
+            name=data["name"],
+            weight=data["weight"],
+            priority=data["priority"],
+            requests=data["requests"],
+            completed=data["completed"],
+            p50=data["p50"],
+            p95=data["p95"],
+            p99=data["p99"],
+            mean_queue_cycles=data["mean_queue_cycles"],
+            mean_service_cycles=data["mean_service_cycles"],
+            qos_beats=data["qos_beats"],
+            qos_stall_cycles=data["qos_stall_cycles"],
+        )
+
+
+@dataclass(frozen=True)
+class StreamDetail:
+    """Open-loop traffic measurements (``repro.traffic`` scenarios).
+
+    Attributes:
+        clusters: Clusters the dispatcher placed requests onto.
+        cores_per_cluster: Cores in each cluster.
+        policy: Scenario policy string (``fifo``, ``priority``,
+            ``fifo+qos``, ``priority+qos``).
+        offered_rate: Offered arrival rate, requests per cycle.
+        duration: Arrival window in cycles.
+        requests: Requests that arrived across every class.
+        completed: Requests served to completion.
+        makespan: Cycle the last request finished.
+        peak_queue_depth: Largest pending-queue depth observed.
+        cluster_busy_cycles: Per-cluster busy cycles, in cluster
+            order.
+        classes: Per-class outcome, in scenario class order.
+    """
+
+    clusters: int
+    cores_per_cluster: int
+    policy: str
+    offered_rate: float
+    duration: int
+    requests: int
+    completed: int
+    makespan: int
+    peak_queue_depth: int
+    cluster_busy_cycles: tuple[int, ...]
+    classes: tuple[StreamClassStats, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "clusters": self.clusters,
+            "cores_per_cluster": self.cores_per_cluster,
+            "policy": self.policy,
+            "offered_rate": self.offered_rate,
+            "duration": self.duration,
+            "requests": self.requests,
+            "completed": self.completed,
+            "makespan": self.makespan,
+            "peak_queue_depth": self.peak_queue_depth,
+            "cluster_busy_cycles": list(self.cluster_busy_cycles),
+            "classes": [c.to_json() for c in self.classes],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StreamDetail":
+        return cls(
+            clusters=data["clusters"],
+            cores_per_cluster=data["cores_per_cluster"],
+            policy=data["policy"],
+            offered_rate=data["offered_rate"],
+            duration=data["duration"],
+            requests=data["requests"],
+            completed=data["completed"],
+            makespan=data["makespan"],
+            peak_queue_depth=data["peak_queue_depth"],
+            cluster_busy_cycles=tuple(data["cluster_busy_cycles"]),
+            classes=tuple(StreamClassStats.from_json(c)
+                          for c in data["classes"]),
+        )
+
+
+@dataclass(frozen=True)
 class RunRecord:
     """One workload run on one backend, reduced to reportable numbers.
 
@@ -201,6 +339,9 @@ class RunRecord:
     #: Cycle-attribution tree (ProfileNode.to_json()) when the run was
     #: observed (``obs`` knob); None otherwise.
     profile: dict | None = None
+    #: Open-loop traffic detail (``repro.traffic``); None for closed
+    #: fixed-n batch runs.
+    stream: StreamDetail | None = None
 
     @property
     def instructions(self) -> int:
@@ -245,6 +386,8 @@ class RunRecord:
             "cluster": self.cluster.to_json() if self.cluster else None,
             "soc_detail": self.soc.to_json() if self.soc else None,
             "profile": dict(self.profile) if self.profile else None,
+            "stream_detail": self.stream.to_json()
+            if self.stream else None,
         }
 
     @classmethod
@@ -268,6 +411,9 @@ class RunRecord:
                 3: (" (v3 predates the observability layer and lacks "
                     "the optional 'profile' cycle-attribution block; "
                     "re-run the artifact to regenerate the payload)"),
+                4: (" (v4 predates the streaming-traffic layer and "
+                    "lacks the optional 'stream_detail' block; re-run "
+                    "the artifact to regenerate the payload)"),
             }
             raise ValueError(
                 f"RunRecord schema mismatch: payload has "
@@ -303,4 +449,6 @@ class RunRecord:
             soc=soc,
             profile=dict(data["profile"])
             if data.get("profile") else None,
+            stream=StreamDetail.from_json(data["stream_detail"])
+            if data.get("stream_detail") else None,
         )

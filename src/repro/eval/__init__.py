@@ -20,6 +20,7 @@ from . import (  # noqa: F401
     fig3,
     report,
     socscale,
+    streamscale,
     table1,
 )
 from .runner import (

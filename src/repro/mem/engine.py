@@ -231,6 +231,17 @@ class TransferEngine:
         first = begin + self.setup_latency + self.extra_latency
         if self.arbiter is not None:
             done = self.arbiter(self.stream_id, nbeats, first)
+            # A transfer with beats cannot finish before its first
+            # beat could land; a grant at or before the request cycle
+            # means the arbiter is broken (e.g. returned its zero-beat
+            # fast path for a real transfer).
+            if done <= first:
+                raise MemoryError_(
+                    f"arbiter granted stream {self.stream_id} "
+                    f"completion at cycle {done} for {nbeats} beats "
+                    f"requested at cycle {first}: the first beat lands "
+                    f"after the request, so done must be > {first}"
+                )
         else:
             done = first + nbeats
         if self._tcdm is not None:

@@ -29,7 +29,13 @@ Everything here is import-cycle-free by design: no module under
 """
 
 from .events import ObsEvent, ObsSink
-from .metrics import DEFAULT_METRICS, Metric, MetricsRegistry
+from .metrics import (
+    DEFAULT_METRICS,
+    METRIC_KINDS,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+)
 from .profile import (
     ProfileNode,
     aggregate_profile,
@@ -46,6 +52,8 @@ from .trace import chrome_trace, validate_chrome_trace, write_chrome_trace
 
 __all__ = [
     "DEFAULT_METRICS",
+    "METRIC_KINDS",
+    "Histogram",
     "Metric",
     "MetricsRegistry",
     "ObsEvent",

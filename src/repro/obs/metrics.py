@@ -17,6 +17,152 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+#: Metric kinds a registry accepts.  ``counter`` and ``gauge`` yield
+#: scalars; ``histogram`` extracts yield a :class:`Histogram`, which
+#: :meth:`MetricsRegistry.collect` flattens into ``.count``/``.p50``/
+#: ``.p95``/``.p99`` scalar entries so tables and payloads stay flat.
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+class Histogram:
+    """Sample accumulator: log-spaced buckets + exact tail percentiles.
+
+    Two views over one stream of non-negative integer samples
+    (latencies in cycles, sizes in bytes):
+
+    * fixed log-spaced **buckets** — sample *v* lands in the bucket
+      with upper edge ``2**v.bit_length()`` (0 gets its own bucket),
+      so the bucket list is bounded (~64 entries) no matter how many
+      samples arrive;
+    * **retained samples** under :attr:`sample_cap`, giving *exact*
+      p50/p95/p99 as long as the count stays under the cap.  Beyond
+      the cap new samples still update count/sum/min/max and the
+      buckets, and percentiles degrade to the bucket upper edge —
+      conservative (never under-reports a latency) and still
+      deterministic.
+
+    Merging (:meth:`merge`) is order-sensitive only in the retained
+    list's order; callers that need bit-identical results across a
+    sharded run merge shards in a fixed order, exactly like every
+    other sharded payload in the repo.
+    """
+
+    #: Retained samples stop growing past this; percentiles switch to
+    #: the bucket view.  2^16 samples ≈ 512 KiB of ints — small enough
+    #: to keep per-class, large enough that every shipped scenario
+    #: stays exact.
+    DEFAULT_SAMPLE_CAP = 1 << 16
+
+    def __init__(self, sample_cap: int = DEFAULT_SAMPLE_CAP) -> None:
+        if sample_cap < 1:
+            raise ValueError(
+                f"sample_cap must be >= 1, got {sample_cap}")
+        self.sample_cap = sample_cap
+        self.count = 0
+        self.sum = 0
+        self.min: int | None = None
+        self.max: int | None = None
+        #: bucket upper edge (power of two, or 0) -> sample count.
+        self.buckets: dict[int, int] = {}
+        self._samples: list[int] = []
+
+    @staticmethod
+    def bucket_edge(value: int) -> int:
+        """Upper edge of the log-spaced bucket *value* lands in."""
+        return 0 if value == 0 else 1 << value.bit_length()
+
+    def record(self, value: int) -> None:
+        """Add one sample (a non-negative integer)."""
+        if value < 0:
+            raise ValueError(
+                f"histogram samples must be >= 0, got {value}")
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        edge = self.bucket_edge(value)
+        self.buckets[edge] = self.buckets.get(edge, 0) + 1
+        if len(self._samples) < self.sample_cap:
+            self._samples.append(value)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s samples into this histogram."""
+        self.count += other.count
+        self.sum += other.sum
+        for bound in ("min", "max"):
+            theirs = getattr(other, bound)
+            if theirs is not None:
+                mine = getattr(self, bound)
+                pick = min if bound == "min" else max
+                setattr(self, bound,
+                        theirs if mine is None else pick(mine, theirs))
+        for edge, n in other.buckets.items():
+            self.buckets[edge] = self.buckets.get(edge, 0) + n
+        room = self.sample_cap - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+
+    @property
+    def exact(self) -> bool:
+        """Whether percentiles are exact (every sample retained)."""
+        return self.count == len(self._samples)
+
+    def percentile(self, q: float) -> int | None:
+        """The *q*-quantile (exact under the cap; bucket edge above).
+
+        Exact means the nearest-rank quantile of the full sample set:
+        the ``ceil(q * n)``-th smallest sample.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        # Nearest-rank in pure integer arithmetic: quantiles are
+        # expressed in basis points so ceil(q * n) cannot pick up
+        # float error (0.95 is not exact in binary).
+        rank = max(-(-round(q * 10_000) * self.count // 10_000), 1)
+        if self.exact:
+            ordered = sorted(self._samples)
+            return ordered[rank - 1]
+        seen = 0
+        for edge in sorted(self.buckets):
+            seen += self.buckets[edge]
+            if seen >= rank:
+                return edge
+        return self.max
+
+    @property
+    def p50(self) -> int | None:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> int | None:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> int | None:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+    def to_json(self) -> dict:
+        """Stable summary: scalars + the sorted bucket list."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "exact": self.exact,
+            "buckets": [[edge, self.buckets[edge]]
+                        for edge in sorted(self.buckets)],
+        }
+
 
 @dataclass(frozen=True)
 class Metric:
@@ -28,13 +174,27 @@ class Metric:
             ``mW``, ...).
         help: One-line meaning.
         extract: ``record -> value`` callable; return None when the
-            record has no such measurement (metric is skipped).
+            record has no such measurement (metric is skipped).  For
+            ``histogram`` metrics the callable returns a
+            :class:`Histogram` (or None).
+        kind: One of :data:`METRIC_KINDS`.  ``counter``/``gauge`` are
+            scalars (the distinction is documentation: counters only
+            grow); ``histogram`` values are flattened by
+            :meth:`MetricsRegistry.collect`.
     """
 
     name: str
     unit: str
     help: str
     extract: Callable
+    kind: str = "gauge"
+
+    def __post_init__(self) -> None:
+        if self.kind not in METRIC_KINDS:
+            raise ValueError(
+                f"metric {self.name!r}: unknown kind {self.kind!r}; "
+                f"expected one of {METRIC_KINDS}"
+            )
 
 
 def _counter(name: str):
@@ -128,11 +288,24 @@ class MetricsRegistry:
             self.register(metric)
 
     def collect(self, record) -> dict:
-        """Extract every applicable metric from *record*, in order."""
+        """Extract every applicable metric from *record*, in order.
+
+        Histogram-kind metrics flatten into scalar entries —
+        ``name.count`` plus ``name.p50``/``.p95``/``.p99`` — so the
+        result is a flat name->number dict regardless of metric kind.
+        """
         out: dict = {}
         for metric in self.metrics:
             value = metric.extract(record)
-            if value is not None:
+            if value is None:
+                continue
+            if isinstance(value, Histogram):
+                out[f"{metric.name}.count"] = value.count
+                for tail in ("p50", "p95", "p99"):
+                    quantile = getattr(value, tail)
+                    if quantile is not None:
+                        out[f"{metric.name}.{tail}"] = quantile
+            else:
                 out[metric.name] = value
         return out
 
@@ -145,5 +318,12 @@ class MetricsRegistry:
         for name, value in rows.items():
             shown = f"{value:.4f}" if isinstance(value, float) \
                 else str(value)
-            lines.append(f"{name:<24} {shown:>14}  {units[name]}")
+            unit = units.get(name)
+            if unit is None:
+                # A histogram's flattened entries share its unit
+                # (counts are dimensionless).
+                base, _, tail = name.rpartition(".")
+                unit = "samples" if tail == "count" \
+                    else units.get(base, "")
+            lines.append(f"{name:<24} {shown:>14}  {unit}")
         return "\n".join(lines)

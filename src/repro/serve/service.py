@@ -188,12 +188,17 @@ class EvalService:
     # -- stats / lifecycle ---------------------------------------------
 
     def stats_json(self) -> dict:
-        """Service + store counters through the metrics registry."""
+        """Service + store counters through the metrics registry.
+
+        The ``store`` block carries this process's session counters
+        plus the full :meth:`~repro.serve.store.RunStore.describe`
+        summary — including the ``cumulative`` sidecar totals other
+        processes have flushed, which a session-only view would miss.
+        """
         out = dict(self.registry.collect(self.stats))
         if self.store is not None:
             out["store"] = self.store.stats.to_json()
-            out["store"]["dir"] = self.store.root
-            out["store"]["generation"] = self.store.generation
+            out["store"].update(self.store.describe())
         return out
 
     def render_stats(self) -> str:

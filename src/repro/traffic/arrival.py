@@ -1,0 +1,238 @@
+"""Open-loop request arrival: seeded Poisson streams and trace replay.
+
+Closed, fixed-n batches answer "how fast is one kernel"; an *open*
+arrival process answers the question deployments face — how much
+offered load can the SoC sustain, and at what latency.  This module
+generates the request stream: each :class:`Request` names a registered
+:class:`PriorityClass` (which carries the kernel workload, the QoS
+weight and the dispatch priority) and an arrival cycle.
+
+Two sources exist, both deterministic:
+
+* :func:`poisson_arrivals` — independent seeded Poisson streams, one
+  per class (rate split by each class's ``share``), merged into one
+  time-ordered stream.  Inter-arrival gaps come from inverse-transform
+  sampling over a 64-bit LCG (:class:`Lcg64`), so the stream is a pure
+  function of ``(classes, rate, duration, seed)`` — the property the
+  ``--jobs``-sharded replications rely on.
+* :func:`load_trace` — replay of a trace file (one request per line:
+  ``cycle class``, ``#`` comments allowed), for driving the dispatcher
+  with recorded or adversarial arrival patterns.
+
+Arrival cycles are integers; ties are ordered by descending dispatch
+priority then generation order, so the merged stream is total-ordered
+and every downstream consumer is deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..kernels.registry import KERNELS
+
+#: Dispatch-priority convention: larger means more urgent.
+__all__ = [
+    "Lcg64",
+    "PriorityClass",
+    "Request",
+    "load_trace",
+    "poisson_arrivals",
+]
+
+
+class TrafficError(RuntimeError):
+    """A traffic-scenario operation failed in a way the user must fix."""
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """One request class: workload shape + QoS weight + priority.
+
+    Attributes:
+        name: Class label used in traces, payloads and reports.
+        weight: QoS arbitration weight — the class's guaranteed share
+            of interconnect beat slots (see
+            :class:`~repro.traffic.qos.QosArbiter`).  ``0`` means the
+            class has no reserved slots and is never granted.
+        priority: Dispatch priority; **larger is more urgent**.  The
+            ``priority`` dispatch policy serves pending requests in
+            descending priority (FIFO within a class).
+        kernel: Registered kernel every request of this class runs.
+        variant: ``baseline`` or ``copift``.
+        n: Problem size per request.
+        share: Fraction of the offered Poisson arrival rate this class
+            contributes; shares must sum to 1 across a scenario.
+    """
+
+    name: str
+    weight: int
+    priority: int
+    kernel: str
+    variant: str
+    n: int
+    share: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TrafficError("priority class needs a non-empty name")
+        if self.weight < 0:
+            raise TrafficError(
+                f"class {self.name!r}: weight must be >= 0, got "
+                f"{self.weight}"
+            )
+        if self.kernel not in KERNELS:
+            raise TrafficError(
+                f"class {self.name!r}: unknown kernel "
+                f"{self.kernel!r}; available: {sorted(KERNELS)}"
+            )
+        if not 0.0 < self.share <= 1.0:
+            raise TrafficError(
+                f"class {self.name!r}: share must be in (0, 1], got "
+                f"{self.share}"
+            )
+
+
+@dataclass(frozen=True)
+class Request:
+    """One kernel request in the open arrival stream.
+
+    Attributes:
+        rid: Stream-wide id, dense in arrival order (ties broken by
+            priority then generation order) — the deterministic
+            tie-break every queue in the dispatcher falls back to.
+        arrival: Arrival cycle.
+        cls: Index into the scenario's class tuple.
+    """
+
+    rid: int
+    arrival: int
+    cls: int
+
+
+class Lcg64:
+    """Minimal 64-bit LCG (Knuth's MMIX constants).
+
+    The standard library's Mersenne Twister would do, but an explicit
+    8-line generator makes the determinism contract self-evident: the
+    stream is a pure function of the seed, independent of Python
+    version, platform and call history elsewhere in the process.
+    """
+
+    _MUL = 6364136223846793005
+    _INC = 1442695040888963407
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int) -> None:
+        # Avalanche the seed so small seeds do not correlate streams.
+        self._state = (seed * 0x9E3779B97F4A7C15 + 1) & self._MASK
+
+    def next_u64(self) -> int:
+        self._state = (self._state * self._MUL + self._INC) & self._MASK
+        return self._state
+
+    def uniform(self) -> float:
+        """Uniform float in the open interval (0, 1)."""
+        # Top 53 bits; +1 over 2^53+1 keeps both endpoints open, so
+        # log(u) below is always finite.
+        return (self.next_u64() >> 11) / ((1 << 53) + 1) or 2.0 ** -54
+
+
+def _exponential_gap(rng: Lcg64, rate: float) -> int:
+    """One inter-arrival gap in whole cycles (at least 1)."""
+    return max(1, round(-math.log(rng.uniform()) / rate))
+
+
+def poisson_arrivals(classes: tuple[PriorityClass, ...], rate: float,
+                     duration: int, seed: int) -> list[Request]:
+    """Sample the merged open-loop arrival stream.
+
+    Args:
+        classes: The scenario's priority classes; each contributes an
+            independent Poisson stream of rate ``rate * share``.
+        rate: Total offered arrival rate in requests per cycle.
+        duration: Arrival window in cycles; requests arrive in
+            ``[1, duration]`` (the queue keeps draining afterwards).
+        seed: Replication seed; each class derives its own sub-stream
+            from ``(seed, class index)``.
+
+    Returns the requests sorted by ``(arrival, -priority, rid order)``
+    with dense ids assigned after the merge.
+    """
+    if rate <= 0.0:
+        raise TrafficError(f"arrival rate must be > 0, got {rate}")
+    if duration < 1:
+        raise TrafficError(f"duration must be >= 1, got {duration}")
+    proto: list[tuple[int, int, int, int]] = []
+    for index, cls in enumerate(classes):
+        rng = Lcg64((seed << 8) ^ index)
+        t = 0
+        seq = 0
+        class_rate = rate * cls.share
+        while True:
+            t += _exponential_gap(rng, class_rate)
+            if t > duration:
+                break
+            proto.append((t, -cls.priority, index, seq))
+            seq += 1
+    proto.sort()
+    return [Request(rid=rid, arrival=arrival, cls=index)
+            for rid, (arrival, _, index, _) in enumerate(proto)]
+
+
+def load_trace(path: str,
+               classes: tuple[PriorityClass, ...]) -> list[Request]:
+    """Parse a trace file into the same stream shape as the sampler.
+
+    Format: one request per line, ``<cycle> <class-name>`` separated
+    by whitespace or a comma; blank lines and ``#`` comments are
+    skipped.  Cycles need not be sorted — the stream is re-ordered by
+    ``(arrival, -priority, line order)`` exactly like the sampler's
+    merge — but must be integers >= 1, and every class name must be
+    registered in *classes*.  Errors carry the file and line number.
+    """
+    by_name = {cls.name: index for index, cls in enumerate(classes)}
+    proto: list[tuple[int, int, int, int]] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise TrafficError(
+            f"cannot read trace file {path}: {exc.strerror or exc}"
+        ) from None
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            continue
+        parts = text.replace(",", " ").split()
+        if len(parts) != 2:
+            raise TrafficError(
+                f"{path}:{lineno}: expected '<cycle> <class>', got "
+                f"{text!r}"
+            )
+        cycle_text, name = parts
+        try:
+            arrival = int(cycle_text)
+        except ValueError:
+            raise TrafficError(
+                f"{path}:{lineno}: arrival cycle must be an integer, "
+                f"got {cycle_text!r}"
+            ) from None
+        if arrival < 1:
+            raise TrafficError(
+                f"{path}:{lineno}: arrival cycle must be >= 1, got "
+                f"{arrival}"
+            )
+        if name not in by_name:
+            raise TrafficError(
+                f"{path}:{lineno}: unknown class {name!r}; this "
+                f"scenario defines: "
+                + ", ".join(cls.name for cls in classes)
+            )
+        index = by_name[name]
+        proto.append((arrival, -classes[index].priority, index, lineno))
+    if not proto:
+        raise TrafficError(f"trace file {path} contains no requests")
+    proto.sort()
+    return [Request(rid=rid, arrival=arrival, cls=index)
+            for rid, (arrival, _, index, _) in enumerate(proto)]

@@ -1,0 +1,192 @@
+"""Request dispatcher: open-loop queueing onto free SoC clusters.
+
+The dispatcher is a discrete-event simulation over integer cycles:
+requests join a pending queue on arrival and are placed onto the
+lowest-numbered free cluster under one of two policies —
+
+* ``fifo`` — strict arrival order across classes;
+* ``priority`` — descending :attr:`PriorityClass.priority`, FIFO
+  within a class (a queued high-priority request always dispatches
+  before any waiting low-priority one; running requests are never
+  preempted).
+
+Service time starts from the class's uncontended
+:class:`~repro.traffic.model.RequestProfile` and is stretched by
+whatever completion slip the shared beat arbiter adds when the
+request's profiled DMA schedule is replayed through the cluster's
+:class:`~repro.mem.TransferEngine` (see :mod:`repro.traffic.model`).
+Every completed request keeps its three latency components — queue
+wait, service, total — in cycles; the scenario layer folds them into
+per-class histograms.
+
+Event ordering is fully deterministic: completions at cycle *t* are
+processed before arrivals at *t* (a cluster freed this cycle can
+accept this cycle's arrival), pending ties break by request id, free
+clusters by cluster id.  No randomness, no floats — two runs over the
+same request list are bit-identical, which is what lets the
+``streamscale`` artifact shard replications over processes and still
+merge to one canonical payload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .arrival import PriorityClass, Request, TrafficError
+from .model import RequestProfile
+from .qos import QosArbiter
+
+__all__ = ["CompletedRequest", "Dispatcher", "POLICIES"]
+
+#: Dispatch policies :class:`Dispatcher` accepts.
+POLICIES = ("fifo", "priority")
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One served request with its latency decomposition."""
+
+    rid: int
+    cls: int
+    arrival: int
+    start: int
+    finish: int
+    cluster: int
+
+    @property
+    def queue_cycles(self) -> int:
+        """Cycles spent waiting for a free cluster."""
+        return self.start - self.arrival
+
+    @property
+    def service_cycles(self) -> int:
+        """Cycles on the cluster (profile + arbitration slip)."""
+        return self.finish - self.start
+
+    @property
+    def total_cycles(self) -> int:
+        """Arrival-to-completion latency."""
+        return self.finish - self.arrival
+
+
+class Dispatcher:
+    """Queue requests and schedule them onto free clusters.
+
+    Args:
+        classes: The scenario's priority classes.
+        profiles: One :class:`RequestProfile` per class, same order.
+        n_clusters: Clusters available for placement.
+        policy: ``fifo`` or ``priority``.
+        engines: Optional per-cluster transfer engines for DMA
+            replay (one per cluster, ``stream_id == cluster id``).
+            ``None`` serves every request in its uncontended profile
+            time — the analytic baseline tests compare against.
+        qos: The shared :class:`QosArbiter` behind *engines*, if any;
+            the dispatcher re-binds a cluster's stream to the class it
+            is about to serve.
+    """
+
+    def __init__(self, classes: tuple[PriorityClass, ...],
+                 profiles: tuple[RequestProfile, ...],
+                 n_clusters: int, policy: str = "fifo",
+                 engines=None, qos: QosArbiter | None = None) -> None:
+        if policy not in POLICIES:
+            raise TrafficError(
+                f"unknown dispatch policy {policy!r}; expected one "
+                f"of {POLICIES}")
+        if len(profiles) != len(classes):
+            raise TrafficError(
+                f"{len(classes)} class(es) but {len(profiles)} "
+                f"profile(s)")
+        if n_clusters < 1:
+            raise TrafficError(
+                f"n_clusters must be >= 1, got {n_clusters}")
+        if engines is not None and len(engines) != n_clusters:
+            raise TrafficError(
+                f"{n_clusters} cluster(s) but {len(engines)} "
+                f"engine(s)")
+        self.classes = classes
+        self.profiles = profiles
+        self.n_clusters = n_clusters
+        self.policy = policy
+        self.engines = engines
+        self.qos = qos
+        #: Per-cluster busy cycles (service time summed per placement).
+        self.cluster_busy = [0] * n_clusters
+        #: Largest pending-queue depth observed.
+        self.peak_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    def _queue_key(self, request: Request) -> tuple:
+        if self.policy == "priority":
+            return (-self.classes[request.cls].priority,
+                    request.arrival, request.rid)
+        return (request.arrival, request.rid)
+
+    def _serve(self, request: Request, cluster: int,
+               start: int) -> int:
+        """Place *request* on *cluster* at *start*; returns finish."""
+        profile = self.profiles[request.cls]
+        if self.engines is None:
+            return start + profile.cycles
+        engine = self.engines[cluster]
+        if self.qos is not None:
+            self.qos.bind(cluster, request.cls)
+        # Replay the profiled DMA schedule at this request's offset;
+        # the arbiter may slip completions past the uncontended
+        # profile, and the worst slip extends the service time
+        # one-for-one (the program's dma.wait fence gates its end).
+        slip = 0
+        for core, issue, dst, src, nbytes, done in profile.transfers:
+            granted = engine.start(core, dst, src, nbytes,
+                                   start + issue)
+            slip = max(slip, granted - (start + done))
+        return start + profile.cycles + max(0, slip)
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request]) -> list[CompletedRequest]:
+        """Serve *requests* to completion; returns them in finish
+        order (ties by request id)."""
+        pending: list[tuple] = []          # (policy key..., request)
+        busy: list[tuple[int, int]] = []   # (finish, cluster)
+        free = list(range(self.n_clusters))
+        heapq.heapify(free)
+        completed: list[CompletedRequest] = []
+        index = 0
+        now = 0
+        n = len(requests)
+        while index < n or pending or busy:
+            if pending and free:
+                *_, request = heapq.heappop(pending)
+                cluster = heapq.heappop(free)
+                finish = self._serve(request, cluster, now)
+                self.cluster_busy[cluster] += finish - now
+                heapq.heappush(busy, (finish, cluster))
+                completed.append(CompletedRequest(
+                    rid=request.rid, cls=request.cls,
+                    arrival=request.arrival, start=now,
+                    finish=finish, cluster=cluster,
+                ))
+                continue
+            # Advance to the next event: the earliest completion or
+            # arrival.  Completions at a cycle release their cluster
+            # before that cycle's arrivals are considered.
+            horizon = []
+            if busy:
+                horizon.append(busy[0][0])
+            if index < n:
+                horizon.append(requests[index].arrival)
+            now = max(now, min(horizon))
+            while busy and busy[0][0] <= now:
+                _, cluster = heapq.heappop(busy)
+                heapq.heappush(free, cluster)
+            while index < n and requests[index].arrival <= now:
+                request = requests[index]
+                heapq.heappush(pending,
+                               (*self._queue_key(request), request))
+                index += 1
+            self.peak_queue_depth = max(self.peak_queue_depth,
+                                        len(pending))
+        completed.sort(key=lambda c: (c.finish, c.rid))
+        return completed

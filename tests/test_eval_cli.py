@@ -218,13 +218,14 @@ class TestArtifactRegistry:
     def test_report_order_is_explicit(self):
         assert artifacts.names() == [
             "table1", "fig2", "fig3", "clusterscale", "socscale",
-            "all", "report",
+            "streamscale", "all", "report",
         ]
         assert artifacts.bundle_names() == [
             "table1", "fig2", "fig3", "clusterscale", "socscale",
+            "streamscale",
         ]
         assert artifacts.sharded_names() == [
-            "fig3", "clusterscale", "socscale", "all",
+            "fig3", "clusterscale", "socscale", "streamscale", "all",
         ]
 
     def test_alias_resolves_to_canonical(self):

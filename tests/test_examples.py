@@ -37,7 +37,7 @@ def test_every_example_has_a_test():
     tested = {"quickstart.py", "softmax_llm.py", "montecarlo_pi.py",
               "custom_kernel_copift.py", "pipeline_timeline.py",
               "sweep_backends.py", "soc_sweep.py", "trace_kernel.py",
-              "serve_client.py"}
+              "serve_client.py", "stream_qos.py"}
     on_disk = {p.name for p in EXAMPLES.glob("*.py")}
     assert on_disk == tested
 
@@ -83,6 +83,14 @@ def test_trace_kernel(tmp_path, monkeypatch):
     assert "cycles attributed exactly" in out
     assert "Chrome trace events" in out
     assert out_path.exists()
+
+
+def test_stream_qos():
+    out = run_example("stream_qos.py")
+    assert "policy fifo" in out
+    assert "policy priority+qos" in out
+    assert "p99 separation" in out
+    assert "hi p99 under priority+qos beats fifo" in out
 
 
 def test_serve_client():

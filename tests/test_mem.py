@@ -198,6 +198,99 @@ class TestWritebackBankClaims:
         assert not engine.tcdm_attached
 
 
+class TestPluggableArbiter:
+    """Edge cases of the ``TransferEngine.arbiter`` hook."""
+
+    def test_multi_beat_per_cycle_grants_are_legal(self):
+        # A wide link lands several beats per cycle, so done <
+        # first + nbeats is a legitimate grant the engine must accept.
+        link = SocInterconnect(n_clusters=1, link_beats_per_cycle=4,
+                               max_beats_per_cluster=4)
+        engine = TransferEngine(bandwidth=8, setup_latency=16,
+                                arbiter=link.transfer)
+        done = engine.start(0, 0x1000, L2, 64, now=0)
+        assert done == 16 + 2          # 8 beats, 4 per cycle
+        assert engine.stream_stats[Direction.READ].stall_cycles == 0
+
+    def test_zero_beat_style_grant_rejected_one_line(self):
+        # The engine never requests zero beats (zero-length transfers
+        # are rejected up front), so an arbiter answering with its
+        # zero-beat fast path — done == start — for a real transfer is
+        # broken and must fail loudly, not corrupt the schedule.
+        engine = TransferEngine(bandwidth=8, setup_latency=16,
+                                arbiter=lambda sid, nbeats, start: start)
+        with pytest.raises(MemoryError_) as excinfo:
+            engine.start(0, 0x1000, L2, 64, now=0)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "done must be > 16" in message
+
+    def test_time_travelling_grant_rejected(self):
+        engine = TransferEngine(
+            bandwidth=8, setup_latency=16,
+            arbiter=lambda sid, nbeats, start: start - 5)
+        with pytest.raises(MemoryError_, match="arbiter granted"):
+            engine.start(0, 0x1000, L2, 64, now=0)
+
+    def test_zero_length_rejected_before_the_arbiter_runs(self):
+        calls = []
+
+        def spy(sid, nbeats, start):
+            calls.append(nbeats)
+            return start + nbeats
+
+        engine = TransferEngine(arbiter=spy)
+        with pytest.raises(MemoryError_, match="zero-length"):
+            engine.start(0, 0x1000, L2, 0, now=0)
+        assert calls == []
+
+    def test_never_granting_arbiter_raises_not_hangs(self):
+        # A zero-weight QoS class owns no beat slots; the starvation
+        # guard must surface that as a one-line error instead of
+        # scanning the claim table forever.
+        from repro.traffic import QosArbiter, TrafficError
+        arbiter = QosArbiter(weights=(1, 0), max_wait=500)
+        arbiter.bind(0, 1)
+        engine = TransferEngine(bandwidth=8, setup_latency=16,
+                                arbiter=arbiter.transfer)
+        with pytest.raises(TrafficError) as excinfo:
+            engine.start(0, 0x1000, L2, 64, now=0)
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "QoS starvation" in message
+
+    def test_arbiter_stall_feeds_stream_stats(self):
+        stretch = 7
+
+        def slow(sid, nbeats, start):
+            return start + nbeats + stretch
+
+        engine = TransferEngine(bandwidth=8, setup_latency=16,
+                                arbiter=slow)
+        done = engine.start(0, 0x1000, L2, 64, now=0)
+        assert done == 16 + 8 + stretch
+        assert engine.stream_stats[Direction.READ].stall_cycles \
+            == stretch
+
+    def test_arbiter_composes_with_attached_tcdm(self):
+        # With both hooks active the transfer completes when the later
+        # of the two resources is done: the link grant or the last
+        # beat's bank-cycle.
+        tcdm = BankedTcdm(n_banks=4, bank_stagger_words=0)
+        for cycle in range(1, 80):       # hammer bank 0
+            tcdm.access(3, 0x0, 4, cycle)
+        link = SocInterconnect(n_clusters=1)
+        engine = TransferEngine(bandwidth=8, setup_latency=16,
+                                arbiter=link.transfer)
+        engine.attach_tcdm(tcdm)
+        done = engine.start(0, 0x0, L2, 64, now=0)
+        link_only = SocInterconnect(n_clusters=1)
+        free = TransferEngine(bandwidth=8, setup_latency=16,
+                              arbiter=link_only.transfer)
+        assert done > free.start(0, 0x0, L2, 64, now=0)
+        assert link.stats[0].beats == 8  # the link still granted all
+
+
 class TestL2MemoryExhaustion:
     """The shared-L2 bump allocator fails loudly when it fills up."""
 

@@ -17,6 +17,8 @@ from repro.api import (
 from repro.eval.__main__ import main
 from repro.kernels.registry import KERNELS
 from repro.obs import (
+    METRIC_KINDS,
+    Histogram,
     MetricsRegistry,
     ObsSink,
     ProfileNode,
@@ -27,6 +29,7 @@ from repro.obs import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.metrics import Metric
 from repro.sim.counters import Counters
 
 
@@ -252,6 +255,142 @@ class TestMetricsRegistry:
         text = MetricsRegistry.default().render(record)
         assert "insn/cycle" in text
         assert "cycles" in text
+
+
+class TestHistogram:
+    def test_exact_percentiles_under_the_cap(self):
+        hist = Histogram()
+        for value in range(1, 101):       # 1..100, shuffled order
+            hist.record((value * 37) % 101)
+        assert hist.exact
+        assert hist.count == 100
+        assert hist.p50 == 50             # nearest rank: ceil(.5*100)
+        assert hist.p95 == 95
+        assert hist.p99 == 99
+        assert hist.percentile(1.0) == hist.max == 100
+        assert hist.min == 1
+
+    def test_nearest_rank_has_no_float_error(self):
+        # ceil(0.95 * 40) must be 38, not 39: 0.95 is inexact in
+        # binary, so a naive ceil picks up the representation error.
+        hist = Histogram()
+        for value in range(1, 41):
+            hist.record(value)
+        assert hist.p95 == 38
+
+    def test_bucket_edges_are_powers_of_two(self):
+        assert Histogram.bucket_edge(0) == 0
+        assert Histogram.bucket_edge(1) == 2
+        assert Histogram.bucket_edge(2) == 4
+        assert Histogram.bucket_edge(3) == 4
+        assert Histogram.bucket_edge(4) == 8
+        assert Histogram.bucket_edge(1023) == 1024
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Histogram().record(-1)
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().percentile(0.0)
+
+    def test_empty_histogram_yields_none(self):
+        hist = Histogram()
+        assert hist.p50 is None
+        assert hist.mean is None
+        assert hist.min is None and hist.max is None
+
+    def test_beyond_the_cap_degrades_to_bucket_edges(self):
+        hist = Histogram(sample_cap=8)
+        for value in range(1, 17):
+            hist.record(value)
+        assert not hist.exact
+        assert hist.count == 16
+        # The rank-8 sample is 8; it lands in the (4, 16]-ish
+        # power-of-two bucket whose upper edge is 16 — conservative,
+        # never below the true percentile.
+        assert hist.p50 == 16
+        # The tail falls past every bucket boundary the rank reaches
+        # conservatively: a bucket edge >= the true percentile.
+        assert hist.p99 >= 16
+        assert hist.max == 16             # scalars stay exact
+
+    def test_merge_pools_counts_and_samples(self):
+        left, right = Histogram(), Histogram()
+        for value in (1, 2, 3):
+            left.record(value)
+        for value in (10, 20, 30):
+            right.record(value)
+        left.merge(right)
+        assert left.count == 6
+        assert left.sum == 66
+        assert left.min == 1 and left.max == 30
+        assert left.exact
+        assert left.p50 == 3
+        assert sum(left.buckets.values()) == 6
+
+    def test_merge_respects_the_cap(self):
+        left, right = Histogram(sample_cap=4), Histogram(sample_cap=4)
+        for value in (1, 2, 3):
+            left.record(value)
+        for value in (4, 5, 6):
+            right.record(value)
+        left.merge(right)
+        assert left.count == 6
+        assert not left.exact             # only 4 samples retained
+
+    def test_to_json_is_stable(self):
+        hist = Histogram()
+        for value in (3, 1, 7):
+            hist.record(value)
+        blob = hist.to_json()
+        assert blob["count"] == 3
+        assert blob["sum"] == 11
+        assert blob["exact"] is True
+        assert blob["buckets"] == [[2, 1], [4, 1], [8, 1]]
+
+
+class TestMetricKinds:
+    def test_kinds_are_closed(self):
+        assert METRIC_KINDS == ("counter", "gauge", "histogram")
+        with pytest.raises(ValueError, match="unknown kind"):
+            Metric("bad", "x", "help", lambda r: 0, kind="summary")
+
+    def test_collect_flattens_histogram_metrics(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.record(value)
+        registry = MetricsRegistry()
+        registry.register_many([
+            Metric("reqs", "requests", "arrivals",
+                   lambda r: 42, kind="counter"),
+            Metric("latency", "cycles", "per-request latency",
+                   lambda r: hist, kind="histogram"),
+        ])
+        out = registry.collect(object())
+        assert out["reqs"] == 42
+        assert out["latency.count"] == 100
+        assert out["latency.p50"] == 50
+        assert out["latency.p99"] == 99
+        assert "latency" not in out       # flattened, not nested
+
+    def test_render_resolves_flattened_units(self):
+        hist = Histogram()
+        hist.record(7)
+        registry = MetricsRegistry()
+        registry.register(Metric("latency", "cycles", "latency",
+                                 lambda r: hist, kind="histogram"))
+        text = registry.render(object())
+        count_row = next(line for line in text.splitlines()
+                         if line.startswith("latency.count"))
+        p50_row = next(line for line in text.splitlines()
+                       if line.startswith("latency.p50"))
+        assert count_row.endswith("samples")
+        assert p50_row.endswith("cycles")
+
+    def test_empty_histogram_metric_is_skipped(self):
+        registry = MetricsRegistry()
+        registry.register(Metric("latency", "cycles", "latency",
+                                 lambda r: None, kind="histogram"))
+        assert registry.collect(object()) == {}
 
 
 class TestTimelineRendering:

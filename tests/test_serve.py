@@ -472,6 +472,39 @@ class TestEvalService:
         assert stats["serve.hits"] == 1
         assert stats["store"]["dir"] == store.root
 
+    def test_stats_json_includes_flushed_cumulative_totals(
+            self, tmp_path):
+        # Another process's counters live only in the cumulative
+        # sidecar; the stats reply must surface them, not just this
+        # session's in-memory counters.
+        other = RunStore(tmp_path / "cache")
+        w, b = _cell(n=64)
+        other.save(w, b, _record_for(w, b))
+        other.lookup(w, b)
+        other.flush_stats()
+
+        store = RunStore(tmp_path / "cache")
+
+        async def drive():
+            service = EvalService(store=store,
+                                  runner=_CountingRunner())
+            await service.evaluate(*_cell(n=64))
+            # Snapshot while serving (close() flushes + zeroes the
+            # session counters), as the protocol's stats op does.
+            snapshot = service.stats_json()
+            await service.close()
+            return snapshot
+
+        stats = asyncio.run(drive())["store"]
+        # Session view: this process only saw a store hit.
+        assert stats["hits"] == 1
+        assert stats["stores"] == 0
+        # Store-wide view folded in from describe().
+        assert stats["entries"] == 1
+        assert stats["generation"] == store.generation
+        assert stats["cumulative"]["stores"] == 1
+        assert stats["cumulative"]["hits"] == 1
+
     def test_rejects_bad_knobs(self):
         with pytest.raises(ValueError, match="jobs"):
             EvalService(jobs=0)
