@@ -75,23 +75,21 @@ def _cluster_profile_node(scope: str, cluster_result):
     return aggregate_profile(scope, children)
 
 
-def record_from_instance(instance: KernelInstance,
-                         config: CoreConfig | None = None,
-                         energy_model: EnergyModel | None = None,
-                         check: bool = True,
-                         seed: int | None = None,
-                         obs=None) -> RunRecord:
-    """Run an already-built instance on a bare core, as a RunRecord.
+def record_from_result(instance: KernelInstance, result,
+                       energy_model: EnergyModel | None = None,
+                       seed: int | None = None,
+                       profile=None) -> RunRecord:
+    """Price and package an already-computed bare-core RunResult.
 
-    This is the single measurement path shared by :class:`CoreBackend`
-    and the legacy ``repro.eval.measure_instance`` shim: main-region
+    The measurement tail shared by the scalar path
+    (:func:`record_from_instance`) and the batch engine
+    (:func:`repro.api.batchrun.run_batch_cells`): main-region
     cycles/counters, IPC, and the energy model priced on the kernel's
-    conceptual DMA traffic.  See :meth:`Backend.run` for the ``obs``
-    knob.
+    conceptual DMA traffic.  Because the record is a pure function of
+    *result* and the instance's static metadata, scalar and batch
+    records are byte-identical whenever their RunResults are.
     """
     model = energy_model or EnergyModel()
-    result, _ = instance.run(config=config, check=check,
-                             obs=_obs_sink(obs))
     region = result.region(MAIN_REGION)
     counters = region.counters
     power = model.report(
@@ -113,9 +111,29 @@ def record_from_instance(instance: KernelInstance,
         ipc=region.ipc,
         counters=dict(vars(counters)),
         power=power,
-        profile=core_profile("core", region).to_json()
-        if obs else None,
+        profile=profile,
     )
+
+
+def record_from_instance(instance: KernelInstance,
+                         config: CoreConfig | None = None,
+                         energy_model: EnergyModel | None = None,
+                         check: bool = True,
+                         seed: int | None = None,
+                         obs=None) -> RunRecord:
+    """Run an already-built instance on a bare core, as a RunRecord.
+
+    This is the single measurement path shared by :class:`CoreBackend`
+    and the legacy ``repro.eval.measure_instance`` shim.  See
+    :meth:`Backend.run` for the ``obs`` knob.
+    """
+    result, _ = instance.run(config=config, check=check,
+                             obs=_obs_sink(obs))
+    profile = core_profile(
+        "core", result.region(MAIN_REGION)).to_json() if obs else None
+    return record_from_result(instance, result,
+                              energy_model=energy_model, seed=seed,
+                              profile=profile)
 
 
 @dataclass(frozen=True)

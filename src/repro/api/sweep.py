@@ -10,8 +10,13 @@ repo: every artifact fans its cells through :meth:`Sweep.run`, which
   (workload, backend) pair, so ``jobs=N`` output is bit-identical to
   ``jobs=1`` (the property the CLI's ``--jobs`` flag documents);
 * **batches** fine-grained cells per pool task via
-  :func:`repro.eval.parallel.shard_evenly`, amortizing process startup
-  and pickling overhead when a sweep has many more cells than workers.
+  :func:`repro.eval.parallel.shard_hinted`, amortizing process startup
+  and pickling overhead when a sweep has many more cells than workers;
+* optionally runs bare-core cells through the **vectorized batch
+  engine** (``Sweep(batch=...)``): eligible cells are grouped into
+  lockstep fleets stepped by :class:`repro.sim.batch.BatchEngine`,
+  each group one pool task, with records byte-identical to the scalar
+  engine's for every ``jobs``/``batch`` combination.
 
 Cells (workload + backend dataclasses) are picklable by construction,
 so the executor needs no per-artifact worker plumbing.
@@ -43,6 +48,23 @@ def _run_batch(batch: list) -> list:
             for index, workload, backend, check in batch]
 
 
+def _run_task(task: tuple) -> list:
+    """Pool worker: one sweep task, scalar shard or lockstep group.
+
+    Tasks are ``("scalar", cells)`` — a shard of independent cells run
+    through the backends one by one — or ``("batch", (backend,
+    items))`` — one vectorized lockstep group stepped by the
+    :class:`~repro.sim.batch.BatchEngine`.  Both return the same
+    ``(index, record)`` pairs, so the merger below is agnostic.
+    """
+    kind, payload = task
+    if kind == "batch":
+        from .batchrun import run_batch_cells
+        backend, items = payload
+        return run_batch_cells(backend, items)
+    return _run_batch(payload)
+
+
 @dataclass(frozen=True)
 class Sweep:
     """Cross-product sweep of workloads over backends.
@@ -51,19 +73,32 @@ class Sweep:
         workloads: Workload specs, in result-major order.
         backends: Backend instances or spec strings (``"core"``,
             ``"cluster:4"``); strings are resolved on construction.
+        batch: Vectorized lockstep execution of bare-core cells:
+            ``None`` (default) runs every cell on the scalar engine,
+            ``"auto"`` groups eligible cells into lockstep batches of
+            a default lane width, an integer sets the width
+            explicitly.  Records are byte-identical for every value
+            (the batch engine is equivalence-locked against the
+            scalar scheduler); cluster/SoC cells always run scalar.
     """
 
     workloads: tuple[Workload, ...]
     backends: tuple[Backend, ...] = ("core",)
+    batch: int | str | None = None
 
     def __init__(self, workloads: Iterable[Workload],
-                 backends: Sequence[Backend | str] = ("core",)) -> None:
+                 backends: Sequence[Backend | str] = ("core",),
+                 batch: int | str | None = None) -> None:
+        from .batchrun import resolve_batch
+
         resolved = tuple(
             parse_backend(b) if isinstance(b, str) else b
             for b in backends
         )
+        resolve_batch(batch)        # validate eagerly, store verbatim
         object.__setattr__(self, "workloads", tuple(workloads))
         object.__setattr__(self, "backends", resolved)
+        object.__setattr__(self, "batch", batch)
         if not self.workloads:
             raise ValueError("sweep needs at least one workload")
         if not resolved:
@@ -97,11 +132,12 @@ class Sweep:
         # top-level import would cycle during package initialization.
         from ..eval.parallel import (
             run_sharded,
-            shard_evenly,
+            shard_hinted,
             validate_jobs,
         )
         from ..serve.client import active_store
         from ..serve.store import cache_key
+        from .batchrun import plan_batch, resolve_batch
 
         validate_jobs(jobs)
         if cache is None:
@@ -132,17 +168,30 @@ class Sweep:
                 leaders[key] = i
             pending.append((i, w, b, check))
 
-        if len(pending) == 1 or jobs == 1:
-            computed = _run_batch(pending)
-        elif pending:
-            batches = shard_evenly(
-                pending, min(len(pending), jobs * _BATCHES_PER_JOB))
-            computed = [pair
-                        for batch in run_sharded(_run_batch, batches,
-                                                 jobs=jobs)
-                        for pair in batch]
-        else:
+        lanes = resolve_batch(self.batch)
+        scalar_pending = pending
+        batch_tasks: list = []
+        if lanes is not None and lanes > 1 and pending:
+            batch_tasks, scalar_pending = plan_batch(pending, lanes)
+        tasks = [("batch", task) for task in batch_tasks]
+        if scalar_pending:
+            if jobs == 1:
+                tasks.append(("scalar", scalar_pending))
+            else:
+                tasks.extend(
+                    ("scalar", shard) for shard in
+                    shard_hinted(scalar_pending, jobs,
+                                 per_job=_BATCHES_PER_JOB))
+        if not tasks:
             computed = []
+        elif jobs == 1 or len(tasks) == 1:
+            computed = [pair for task in tasks
+                        for pair in _run_task(task)]
+        else:
+            computed = [pair
+                        for task_out in run_sharded(_run_task, tasks,
+                                                    jobs=jobs)
+                        for pair in task_out]
         for index, record in computed:
             records[index] = record
             if store is not None and not check \

@@ -19,7 +19,7 @@ the sequential one.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..api import (
     ArtifactRequest,
@@ -36,6 +36,11 @@ from ..kernels.registry import KERNELS
 from ..sim import CoreConfig
 
 DEFAULT_CORES = (1, 2, 4, 8)
+
+#: Per-core TCDM placement offsets swept by ``--layout-search``.
+#: 0 is the pathological all-cores-on-one-bank layout; the default
+#: :class:`~repro.cluster.ClusterConfig` ships 2.
+LAYOUT_STAGGERS = (0, 1, 2, 4, 8)
 
 
 def parse_onoff(text: str) -> bool:
@@ -96,11 +101,39 @@ class ScaleRow:
 
 
 @dataclass(frozen=True)
+class LayoutPoint:
+    """One bank-stagger setting of a kernel's layout search."""
+
+    stagger: int
+    cycles: int
+    tcdm_conflict_cycles: int
+
+
+@dataclass(frozen=True)
+class LayoutRow:
+    """One kernel's ``bank_stagger_words`` sweep (copift, max cores).
+
+    ``best`` is the lowest-cycle setting; ties break toward the
+    smaller stagger (denser physical placement for equal makespan).
+    """
+
+    name: str
+    points: tuple[LayoutPoint, ...]
+
+    @property
+    def best(self) -> LayoutPoint:
+        return min(self.points, key=lambda p: (p.cycles, p.stagger))
+
+
+@dataclass(frozen=True)
 class ClusterScaleData:
     rows: tuple[ScaleRow, ...]
     n: int
     cores: tuple[int, ...]
     writeback: bool = False
+    #: Populated by ``--layout-search`` only, so default payloads stay
+    #: byte-identical to pre-search goldens.
+    layout: tuple[LayoutRow, ...] | None = None
 
     def row(self, name: str, variant: str) -> ScaleRow:
         for r in self.rows:
@@ -109,11 +142,52 @@ class ClusterScaleData:
         raise KeyError(f"no row {name}/{variant}")
 
 
+def layout_search(n: int, cores: int, base_config: ClusterConfig,
+                  core_config: CoreConfig | None = None,
+                  jobs: int = 1,
+                  staggers: tuple[int, ...] = LAYOUT_STAGGERS
+                  ) -> tuple[LayoutRow, ...]:
+    """Sweep ``bank_stagger_words`` per kernel at a fixed core count.
+
+    One :class:`Sweep` of every kernel's copift variant (the layout-
+    sensitive one: vector loads hit the banks hardest) over one
+    :class:`ClusterBackend` per stagger setting; the merger picks each
+    kernel's best setting.  Cells are independent simulations, so the
+    search shards under ``jobs`` like the main sweep.
+    """
+    staggers = tuple(dict.fromkeys(staggers))
+    workloads = [Workload(kernel_def.name, "copift", n=n)
+                 for kernel_def in KERNELS.values()]
+    backends = [
+        ClusterBackend(cores=cores,
+                       config=replace(base_config,
+                                      bank_stagger_words=stagger),
+                       core_config=core_config)
+        for stagger in staggers
+    ]
+    sweep = Sweep(workloads, backends=backends)
+    measured = iter(sweep.run(jobs=jobs))
+    rows = []
+    for kernel_def in KERNELS.values():
+        points = []
+        for stagger in staggers:
+            record: RunRecord = next(measured)
+            points.append(LayoutPoint(
+                stagger=stagger,
+                cycles=record.cycles,
+                tcdm_conflict_cycles=(
+                    record.cluster.tcdm_conflict_cycles),
+            ))
+        rows.append(LayoutRow(kernel_def.name, tuple(points)))
+    return tuple(rows)
+
+
 def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
              config: ClusterConfig | None = None,
              core_config: CoreConfig | None = None,
              check: bool = False, jobs: int = 1,
-             writeback: bool = False) -> ClusterScaleData:
+             writeback: bool = False,
+             layout: bool = False) -> ClusterScaleData:
     """Run the full scaling sweep.
 
     *cores* is normalized to ascending unique counts; speedups are
@@ -123,6 +197,8 @@ def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
     the output is identical to a sequential run.  With ``writeback``
     the vector kernels drain their outputs back to L2 through the DMA
     engine and every transfer beat contends in the TCDM bank arbiter.
+    ``layout`` appends a :func:`layout_search` over
+    ``bank_stagger_words`` at the widest swept core count.
     """
     cores = tuple(sorted(set(cores)))
     base_config = config or ClusterConfig()
@@ -165,8 +241,12 @@ def generate(n: int = 4096, cores: tuple[int, ...] = DEFAULT_CORES,
                 ))
             rows.append(ScaleRow(kernel_def.name, variant,
                                  tuple(points)))
+    layout_rows = None
+    if layout:
+        layout_rows = layout_search(n, cores[-1], base_config,
+                                    core_config=core_config, jobs=jobs)
     return ClusterScaleData(tuple(rows), n=n, cores=tuple(cores),
-                            writeback=writeback)
+                            writeback=writeback, layout=layout_rows)
 
 
 def render(data: ClusterScaleData) -> str:
@@ -206,6 +286,21 @@ def render(data: ClusterScaleData) -> str:
         f"max {max(speedups):.2f}x "
         f"(ideal {max_cores / base_cores:.2f}x)"
     )
+    if data.layout is not None:
+        staggers = [p.stagger for p in data.layout[0].points]
+        lines += [
+            "",
+            f"TCDM layout search (copift at {max_cores} cores, "
+            f"bank_stagger_words in "
+            f"{'/'.join(str(s) for s in staggers)}):",
+        ]
+        header = (f"{'Kernel':<18} {'best':>5} "
+                  + "".join(f" {'cyc@' + str(s):>9}" for s in staggers))
+        lines += [header, "-" * len(header)]
+        for lrow in data.layout:
+            cells = "".join(f" {p.cycles:>9}" for p in lrow.points)
+            lines.append(
+                f"{lrow.name:<18} {lrow.best.stagger:>5} {cells}")
     return "\n".join(lines)
 
 
@@ -243,6 +338,29 @@ def clusterscale_payload(data: ClusterScaleData) -> dict:
     }
     if data.writeback:
         payload["writeback"] = True
+    if data.layout is not None:
+        # Rides along only when the search ran, mirroring the
+        # write-back fields: default payloads stay golden-stable.
+        payload["layout_search"] = {
+            "cores": data.cores[-1],
+            "staggers": [p.stagger for p in data.layout[0].points],
+            "rows": [
+                {
+                    "kernel": lrow.name,
+                    "best_stagger": lrow.best.stagger,
+                    "points": [
+                        {
+                            "stagger": p.stagger,
+                            "cycles": p.cycles,
+                            "tcdm_conflict_cycles":
+                                p.tcdm_conflict_cycles,
+                        }
+                        for p in lrow.points
+                    ],
+                }
+                for lrow in data.layout
+            ],
+        }
     return payload
 
 
@@ -255,13 +373,24 @@ def observe_clusterscale(request: ArtifactRequest) -> tuple:
                            writeback=request.extra("writeback", False)))
 
 
+LAYOUT_FLAG = ExtraFlag(
+    "--layout-search",
+    help="sweep the TCDM bank_stagger_words placement per kernel "
+         "(copift at the widest swept core count) and report the "
+         "best setting alongside the scaling table (default off)",
+    parse=parse_onoff, default=False, metavar="on|off",
+)
+
+
 @artifact("clusterscale", sharded=True, order=40,
           help="1/2/4/8-core cluster scaling of every kernel",
-          flags=(WRITEBACK_FLAG,), observe=observe_clusterscale)
+          flags=(WRITEBACK_FLAG, LAYOUT_FLAG),
+          observe=observe_clusterscale)
 def clusterscale_artifact(request: ArtifactRequest) -> ArtifactResult:
     data = generate(n=request.effective_n(4096),
                     cores=request.effective_cores(DEFAULT_CORES),
                     jobs=request.jobs,
-                    writeback=request.extra("writeback", False))
+                    writeback=request.extra("writeback", False),
+                    layout=request.extra("layout_search", False))
     return ArtifactResult("clusterscale", render(data),
                           clusterscale_payload(data))

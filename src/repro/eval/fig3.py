@@ -79,12 +79,15 @@ def generate(block_sizes: tuple[int, ...] = DEFAULT_BLOCK_SIZES,
              problem_sizes: tuple[int, ...] = DEFAULT_PROBLEM_SIZES,
              kernel_name: str = "poly_lcg",
              config: CoreConfig | None = None,
-             full: bool = False, jobs: int = 1) -> Fig3Data:
+             full: bool = False, jobs: int = 1,
+             batch: int | str | None = None) -> Fig3Data:
     """Run the block/problem-size sweep.
 
     With ``jobs > 1`` the grid cells are sharded over host processes
     (each cell is one independent simulation); the grid is assembled in
-    sweep order and identical to a sequential run.
+    sweep order and identical to a sequential run.  ``batch`` routes
+    the bare-core cells through the lockstep engine with the same
+    byte-identity guarantee, and composes with ``jobs``.
     """
     if full:
         block_sizes = PAPER_BLOCK_SIZES
@@ -95,7 +98,8 @@ def generate(block_sizes: tuple[int, ...] = DEFAULT_BLOCK_SIZES,
         for n in problem_sizes
         for block in block_sizes
     ]
-    sweep = Sweep(workloads, backends=(CoreBackend(config=config),))
+    sweep = Sweep(workloads, backends=(CoreBackend(config=config),),
+                  batch=batch)
     measured = iter(sweep.run(jobs=jobs))
     ipc: dict[int, dict[int, float]] = {}
     for n in problem_sizes:
@@ -149,9 +153,10 @@ def observe_fig3(request: ArtifactRequest) -> tuple:
             CoreBackend())
 
 
-@artifact("fig3", sharded=True, order=30,
+@artifact("fig3", sharded=True, batched=True, order=30,
           help="Figure 3 poly_lcg IPC over the block/problem grid",
           observe=observe_fig3)
 def fig3_artifact(request: ArtifactRequest) -> ArtifactResult:
-    data = generate(full=request.full, jobs=request.jobs)
+    data = generate(full=request.full, jobs=request.jobs,
+                    batch=request.batch)
     return ArtifactResult("fig3", render(data), fig3_payload(data))

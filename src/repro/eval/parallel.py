@@ -90,3 +90,24 @@ def shard_evenly(cells: Iterable[Cell], shards: int) -> list[list[Cell]]:
     for i, cell in enumerate(cells):
         buckets[i % shards].append(cell)
     return [b for b in buckets if b]
+
+
+def shard_hinted(cells: Sequence[Cell], jobs: int,
+                 per_job: int = 4) -> list[list[Cell]]:
+    """Shard with an explicit tasks-per-worker hint from the caller.
+
+    ``shard_evenly`` needs the caller to pick a shard count;
+    historically every caller hard-coded ~4 batches per job.  The hint
+    makes that choice explicit and per-call: fine-grained scalar cells
+    want several shards per worker for load balance (``per_job > 1``),
+    while coarse tasks (e.g. one lockstep batch group) are already
+    their own unit and pass ``per_job=1``.  For any hint the result
+    partitions *cells* in input order, so downstream merges stay
+    byte-identical.
+    """
+    if per_job < 1:
+        raise ValueError(f"per_job must be >= 1, got {per_job}")
+    cells = list(cells)
+    if not cells:
+        return []
+    return shard_evenly(cells, min(len(cells), jobs * per_job))

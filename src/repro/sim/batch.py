@@ -1,0 +1,1161 @@
+"""Vectorized batch simulation engine: lockstep stepping of many cores.
+
+Single-stream simulation throughput is the binding constraint on every
+sweep: each :class:`~repro.sim.scheduler.Scheduler` step costs a few
+microseconds of interpreter time regardless of how many independent
+cells a parameter study wants.  This engine holds the state of B
+independent :class:`~repro.sim.machine.Machine` instances in flat
+numpy arrays — ``(B, 32)`` register files, scoreboards and both issue
+timelines as integer vectors, one PC per lane — and advances the whole
+fleet with one vectorized update per *static* instruction, following
+the BlueSky idiom (per-agent state in arrays, one step for the fleet).
+
+Design rules, in order of precedence:
+
+1. **The scalar scheduler stays golden.**  Per-cell results must be
+   bit-identical to a scalar run: same cycles, same counters, same
+   regions, same memory image, same raised errors.  Everything below
+   exists in service of this.
+2. **Demote, don't emulate.**  Lanes are advanced vectorially only
+   through operations whose scalar semantics are exactly expressible
+   as array updates (integer ALU/branch/load/store, the FP timeline
+   with its dispatch queue and writeback ports — the ~80% common
+   path).  The first time a lane reaches an *edge op* — FREP entry,
+   SSR configuration, DMA/barrier cluster ops, ``div``-family or
+   ``fsqrt`` (which raise per-lane), a computed jump, any undecodable
+   instruction — the lane's array state is flushed into a freshly
+   built ``Machine`` and the scalar :class:`Scheduler` finishes the
+   run from that exact point.  Demotion is transparent: the handover
+   state is, field for field, what a scalar run would hold at that pc.
+3. **Divergence by grouping.**  Each iteration selects the lanes
+   sharing the minimum PC and steps them together; cells in a sweep
+   share the kernel, so lanes stay convergent for most of the run and
+   the engine keeps a fast path (no index arrays at all) while every
+   lane is live and at the same PC.
+4. **Errors stay per-lane.**  A lane that faults (unaligned access,
+   ``max_steps``, a never-opened region mark) records its exception
+   and deactivates; sibling lanes are unaffected.
+
+Lanes are grouped into *cohorts* by the structural signature of their
+decoded program — immediate *values* excluded — so a sweep over seeds
+or problem sizes (same code, different ``li`` constants, offsets and
+memory images) shares one vector fleet: per-op immediates that differ
+across lanes are carried as per-lane data vectors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+try:
+    import numpy as np
+except ImportError:          # pragma: no cover - numpy is a hard dep
+    np = None
+
+from . import batch_ops as vo
+from .config import CoreConfig
+from .counters import Counters, RegionMeasurement, RunResult
+from .decode import (
+    DecodedProgram,
+    F_COMPUTE,
+    F_LOAD,
+    F_STORE,
+    F_TO_INT,
+    K_FP,
+    K_INT,
+    K_META,
+    S_HANDLER,
+    S_JUMP,
+    S_RET,
+)
+from .errors import SimulationError
+from .machine import Machine
+
+__all__ = ["BatchEngine", "require_numpy"]
+
+_MASK32 = 0xFFFF_FFFF
+_HALT_PC = 1 << 60
+_WB_TRIM_THRESHOLD = 8192
+_FULL = slice(None)
+
+
+def require_numpy() -> None:
+    """One-line actionable gate for the optional-at-runtime numpy dep."""
+    if np is None:
+        raise RuntimeError(
+            "the batch engine requires numpy (`pip install numpy`); "
+            "re-run without batch=/--batch to use the scalar engine"
+        )
+
+
+def _op_signature(op) -> tuple:
+    """Structural identity of one micro-op for cohort grouping.
+
+    Two programs whose ops are pairwise signature-equal execute
+    identically through the vector path (functional handlers are
+    closures and never compared — the vector tables are keyed by
+    mnemonic, and lanes demote with their *own* program).  Immediate
+    *values* are deliberately excluded (only their presence counts):
+    a sweep over seeds or problem sizes bakes those into ``li``
+    constants and load/store offsets, and the cohort treats them as
+    per-lane data so such sweeps still share one vector fleet.
+    Branch/jump *targets* stay in the signature — control flow must
+    be structurally identical.
+    """
+    return (
+        op.mnemonic, op.kind, op.special, op.fp_op,
+        op.int_read_idx, op.int_write_idx, op.is_load, op.is_store,
+        op.is_branch, op.mem_base_idx, op.imm is None, op.target,
+        op.jump_direct, op.aux0, op.aux1, op.aux2, op.cfg_arm,
+        op.gather, op.dest_idx, op.width, op.opclass,
+        op.counter, op.error is None, op.frep_error is None,
+        op.instr.label,
+        tuple(str(operand) for operand in op.instr.operands
+              if not isinstance(operand, int)),
+    )
+
+
+def program_signature(program) -> tuple:
+    """Cohort key: the per-op structural signature of *program*."""
+    return tuple(_op_signature(op)
+                 for op in DecodedProgram.of(program).ops)
+
+
+class BatchEngine:
+    """Run B independent kernel instances in vectorized lockstep.
+
+    Args:
+        instances: :class:`~repro.kernels.common.KernelInstance` list;
+            each lane simulates one instance against its own memory
+            image (shared with the instance, so verifiers see the
+            writes).
+        config: Core configuration applied to every lane (as
+            ``KernelInstance.run(config=...)`` would).
+        max_steps: Per-lane dynamic instruction budget, as in
+            :meth:`Machine.run`.
+
+    After :meth:`run`, ``results[i]`` holds lane *i*'s
+    :class:`RunResult` (or ``None`` if it errored) and ``errors[i]``
+    the exception a scalar run would have raised (or ``None``).
+    """
+
+    def __init__(self, instances, config: CoreConfig | None = None,
+                 max_steps: int = 200_000_000) -> None:
+        require_numpy()
+        self.instances = list(instances)
+        self.config = config
+        self.max_steps = max_steps
+        n = len(self.instances)
+        self.results: list[RunResult | None] = [None] * n
+        self.errors: list[Exception | None] = [None] * n
+        self.demoted = [False] * n
+        self._machines: list[Machine | None] = [None] * n
+        self._lane_of: dict[int, tuple["_Cohort", int]] = {}
+        groups: dict[tuple, list[int]] = {}
+        for i, instance in enumerate(self.instances):
+            groups.setdefault(
+                program_signature(instance.program), []).append(i)
+        self._cohorts = [_Cohort(self, lanes)
+                         for lanes in groups.values()]
+
+    def run(self) -> "BatchEngine":
+        """Advance every lane to completion (or its per-lane error)."""
+        # Silence numpy float warnings: the scalar engine's Python
+        # arithmetic produces inf/nan silently and so must the vector
+        # path (values are identical either way).
+        with np.errstate(all="ignore"):
+            for cohort in self._cohorts:
+                cohort.run()
+        return self
+
+    def machine(self, i: int) -> Machine:
+        """A Machine holding lane *i*'s final architectural state.
+
+        Demoted lanes return the machine that finished the run; vector
+        lanes get a lazily built one with the array state flushed into
+        it.  This is what kernel verifiers receive in place of the
+        scalar path's ``Machine``.
+        """
+        cached = self._machines[i]
+        if cached is None:
+            cohort, k = self._lane_of[i]
+            cached = cohort.flush_machine(k)
+            self._machines[i] = cached
+        return cached
+
+
+class _Cohort:
+    """Lanes sharing one decoded-program signature, stepped together."""
+
+    def __init__(self, engine: BatchEngine, lanes: list[int]) -> None:
+        self.engine = engine
+        self.lanes = lanes
+        batch = len(lanes)
+        self.batch = batch
+        cfg = engine.config or CoreConfig()
+        self.cfg = cfg
+        decs = [DecodedProgram.of(engine.instances[i].program)
+                for i in lanes]
+        self.decoded = decs[0]
+        self.ops = self.decoded.ops
+        self.n_ops = len(self.ops)
+        latencies = cfg.latencies
+        self.lat = [latencies[op.opclass] for op in self.ops]
+        # Per-op immediates: a plain int when every lane agrees (the
+        # common case), a per-lane int64 vector otherwise (seed- or
+        # size-dependent ``li`` constants and memory offsets).  The
+        # signature guarantees presence is uniform across the cohort.
+        self.imms: list = []
+        for j in range(self.n_ops):
+            vals = [d.ops[j].imm for d in decs]
+            first_imm = vals[0]
+            if all(v == first_imm for v in vals):
+                self.imms.append(first_imm)
+            else:
+                self.imms.append(np.array(vals, np.int64))
+
+        # Config snapshot (mirrors Scheduler._snapshot_config).
+        self.int_wb_hazard = cfg.model_int_wb_hazard
+        self.int_wb_ports = cfg.int_wb_ports
+        self.fp_wb_ports = cfg.fp_wb_ports
+        self.queue_depth = cfg.fpss_queue_depth
+        self.branch_penalty = cfg.taken_branch_penalty
+        self.fp_response_latency = cfg.fp_response_latency
+        self.l0_enabled = cfg.model_l0_icache
+        self.l0_entries = cfg.l0_icache_entries
+
+        # Vector state: one row/element per lane.
+        self.iregs = np.zeros((batch, 32), np.int64)
+        self.fregs = np.zeros((batch, 32), np.float64)
+        self.int_ready = np.zeros((batch, 32), np.int64)
+        self.fp_ready = np.zeros((batch, 32), np.int64)
+        self.int_time = np.zeros(batch, np.int64)
+        self.fp_time = np.zeros(batch, np.int64)
+        self.pc = np.zeros(batch, np.int64)
+        self.steps = np.zeros(batch, np.int64)
+        self.l0_lo = np.full(batch, -1, np.int64)
+        self.l0_hi = np.full(batch, -1, np.int64)
+        self.active = np.ones(batch, bool)
+        self.cd = {field: np.zeros(batch, np.int64)
+                   for field in vars(Counters())}
+
+        # Per-lane containers (deliberately scalar: sparse, smallish).
+        self.mem_ready: list[dict[int, int]] = \
+            [{} for _ in range(batch)]
+        self.int_wb_busy: list[set[int]] = [set() for _ in range(batch)]
+        self.fp_wb_busy: list[set[int]] = [set() for _ in range(batch)]
+        self.fpss_queue: list[deque] = [deque() for _ in range(batch)]
+        # Uniform-timing mode: while every lane has advanced through
+        # the exact same stall/issue history (the normal case — the
+        # cohort shares one program and memory layout; only *data*
+        # differs), the timing side is tracked ONCE in these shared
+        # structures and all timing arithmetic is scalar.  The first
+        # event that can split timing across lanes (divergent branch,
+        # non-uniform memory address, a per-lane fault, demotion)
+        # materializes per-lane copies and clears the flag.
+        self.uniform = True
+        self.uni_mem: dict[int, int] = {}
+        self.uni_int_wb: set[int] = set()
+        self.uni_fp_wb: set[int] = set()
+        self.uni_queue: deque = deque()
+        self.region_open: list[dict] = [{} for _ in range(batch)]
+        self.regions: list[dict] = [{} for _ in range(batch)]
+        self.memories = [engine.instances[i].memory for i in lanes]
+
+        for k, i in enumerate(lanes):
+            engine._lane_of[i] = (self, k)
+
+        #: True once lanes disagree on PC or one left the fleet; the
+        #: run loop then selects min-PC groups instead of the
+        #: all-lanes fast path.
+        self.mixed = batch == 0
+        self._all_lanes = list(range(batch))
+        self.plans = [self._compile(op) for op in self.ops]
+
+    # ------------------------------------------------------------------
+    # run loops
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        max_steps = self.engine.max_steps
+        n_ops = self.n_ops
+        plans = self.plans
+        pc = self.pc
+        steps = self.steps
+        all_lanes = self._all_lanes
+        while True:
+            # Fast path: every lane live, all at the same PC — plans
+            # operate on whole arrays, no index vectors anywhere.
+            while not self.mixed:
+                cur = int(pc[0])
+                if cur >= n_ops:
+                    for k in all_lanes:
+                        self._finish(k)
+                    return
+                plan = plans[cur]
+                if plan is None:
+                    for k in all_lanes:
+                        self._demote(k, cur)
+                    return
+                if int(steps[0]) + 1 > max_steps:
+                    for k in all_lanes:
+                        self._demote(k, cur)
+                    return
+                steps += 1
+                plan(cur, None, all_lanes, True)
+            # General path: min-PC grouping over the live lanes.
+            act = np.flatnonzero(self.active)
+            if act.size == 0:
+                return
+            pcs = pc[act]
+            cur = int(pcs.min())
+            g = act[pcs == cur]
+            if g.size == self.batch:
+                # Reconverged with every lane live: back to fast mode.
+                self.mixed = False
+                continue
+            if cur >= n_ops:
+                for k in g.tolist():
+                    self._finish(k)
+                continue
+            plan = plans[cur]
+            gl = g.tolist()
+            if plan is None:
+                for k in gl:
+                    self._demote(k, cur)
+                continue
+            over = steps[g] + 1 > max_steps
+            if over.any():
+                for k in g[over].tolist():
+                    self._demote(k, cur)
+                g = g[~over]
+                if g.size == 0:
+                    continue
+                gl = g.tolist()
+            steps[g] += 1
+            plan(cur, g, gl, False)
+
+    # ------------------------------------------------------------------
+    # lane lifecycle
+    # ------------------------------------------------------------------
+    def _materialize(self) -> None:
+        """Fan the shared timing structures out to per-lane copies.
+
+        Called the moment lane timing can diverge; afterwards the
+        per-lane containers are authoritative (and independent — each
+        lane gets its own copy, as if it had tracked them all along).
+        """
+        if not self.uniform:
+            return
+        self.uniform = False
+        for k in range(self.batch):
+            self.mem_ready[k] = dict(self.uni_mem)
+            self.int_wb_busy[k] = set(self.uni_int_wb)
+            self.fp_wb_busy[k] = set(self.uni_fp_wb)
+            self.fpss_queue[k] = deque(self.uni_queue)
+
+    def _fail(self, k: int, exc: Exception) -> None:
+        """Record a per-lane fault; siblings keep running."""
+        self._materialize()
+        self.engine.errors[self.lanes[k]] = exc
+        self.active[k] = False
+        self.mixed = True
+
+    def _finish(self, k: int) -> None:
+        cycles = max(int(self.int_time[k]), int(self.fp_time[k]))
+        self.engine.results[self.lanes[k]] = RunResult(
+            cycles=cycles, counters=self._counters_of(k),
+            regions=dict(self.regions[k]))
+        self.active[k] = False
+        self.mixed = True
+
+    def _counters_of(self, k: int) -> Counters:
+        return Counters(**{field: int(arr[k])
+                           for field, arr in self.cd.items()})
+
+    def flush_machine(self, k: int) -> Machine:
+        """A Machine mirroring lane *k*'s architectural state."""
+        instance = self.engine.instances[self.lanes[k]]
+        machine = Machine(config=self.engine.config,
+                          memory=instance.memory)
+        machine.iregs[:] = [int(v) for v in self.iregs[k]]
+        machine.fregs[:] = [float(v) for v in self.fregs[k]]
+        return machine
+
+    def _demote(self, k: int, cur: int) -> None:
+        """Hand lane *k* to the scalar Scheduler, mid-run.
+
+        The scheduler is rebuilt to the exact state a scalar run would
+        hold at pc *cur*; ``drain()`` then finishes the lane with the
+        golden-reference semantics (including raising the golden
+        errors for edge ops the vector path does not model).
+        """
+        self._materialize()
+        engine = self.engine
+        i = self.lanes[k]
+        instance = engine.instances[i]
+        machine = self.flush_machine(k)
+        sched = machine.sched
+        sched.bind(instance.program, engine.max_steps)
+        sched._pc = cur
+        sched._steps = int(self.steps[k])
+        sched.int_time = int(self.int_time[k])
+        sched.fp_time = int(self.fp_time[k])
+        sched.int_ready[:] = [int(v) for v in self.int_ready[k]]
+        sched.fp_ready[:] = [int(v) for v in self.fp_ready[k]]
+        sched.mem_ready = self.mem_ready[k]
+        sched.int_wb_busy = self.int_wb_busy[k]
+        sched.fp_wb_busy = self.fp_wb_busy[k]
+        sched.fpss_queue = self.fpss_queue[k]
+        sched._region_open = self.region_open[k]
+        sched._regions = self.regions[k]
+        cd = sched._cd
+        for field, arr in self.cd.items():
+            cd[field] = int(arr[k])
+        sched.l0._lo = int(self.l0_lo[k])
+        sched.l0._hi = int(self.l0_hi[k])
+        sched.l0.hits = int(self.cd["icache_l0_hits"][k])
+        sched.l0.misses = int(self.cd["icache_l0_misses"][k])
+        engine._machines[i] = machine
+        engine.demoted[i] = True
+        self.active[k] = False
+        self.mixed = True
+        try:
+            sched.drain()
+        except Exception as exc:
+            engine.errors[i] = exc
+        else:
+            engine.results[i] = sched.result()
+
+    # ------------------------------------------------------------------
+    # per-lane scalar helpers (addresses/probes diverge by lane)
+    # ------------------------------------------------------------------
+    def _trim_wb(self, k: int, busy: set) -> None:
+        floor = min(int(self.int_time[k]), int(self.fp_time[k]))
+        busy.intersection_update({t for t in busy if t >= floor})
+
+    # ------------------------------------------------------------------
+    # plan compilation: one closure per static instruction
+    # ------------------------------------------------------------------
+    def _compile(self, op):
+        """The vector step for *op*, or None to demote lanes there."""
+        if op.error is not None:
+            return None
+        kind = op.kind
+        if kind == K_META:
+            return self._plan_meta(op)
+        if kind == K_INT:
+            special = op.special
+            if special == S_RET:
+                return self._plan_int(op, mode="ret")
+            if special == S_JUMP:
+                if not op.jump_direct or op.target is None:
+                    return None
+                return self._plan_int(op, mode="jump")
+            if special != S_HANDLER:
+                # scfgwi / ssr.* / dma.* / cluster.barrier: edge ops.
+                return None
+            return self._plan_int(op)
+        if kind == K_FP:
+            return self._plan_fp(op)
+        return None                              # K_FREP
+
+    def _fetch(self, cur: int, ix) -> None:
+        cd = self.cd
+        if self.l0_enabled:
+            hit = (self.l0_lo[ix] <= cur) & (cur <= self.l0_hi[ix])
+            cd["icache_l0_hits"][ix] += hit
+            cd["icache_l0_misses"][ix] += ~hit
+        else:
+            cd["icache_l0_misses"][ix] += 1
+
+    def _fetch_uni(self, cur: int) -> None:
+        """Fetch bookkeeping when the L0 window is lane-uniform."""
+        cd = self.cd
+        if self.l0_enabled and \
+                int(self.l0_lo[0]) <= cur <= int(self.l0_hi[0]):
+            cd["icache_l0_hits"] += 1
+        else:
+            cd["icache_l0_misses"] += 1
+
+    def _plan_int(self, op, mode: str | None = None):
+        mnem = op.mnemonic
+        reads = op.int_read_idx
+        writes = op.int_write_idx
+        lat = self.lat[op.index]
+        counter = op.counter
+        operands = op.instr.operands
+        imm = self.imms[op.index]
+        imm_vec = imm if isinstance(imm, np.ndarray) else None
+        target = op.target
+        base_idx = op.mem_base_idx
+        hazard = bool(writes) and self.int_wb_hazard
+        ports = self.int_wb_ports
+        penalty = self.branch_penalty
+        entries = self.l0_entries
+        l0_on = self.l0_enabled
+
+        # Resolve the functional form; anything unknown demotes.
+        fn = reader = writer = None
+        dest = src = 0
+        const_val = None
+        if mode in ("ret", "jump"):
+            pass
+        elif op.is_branch:
+            if target is None:
+                return None
+            fn = vo.VEC_BRANCH.get(mnem)
+            if fn is not None:
+                mode = "br2"
+                a_idx = operands[0].index
+                b_idx = operands[1].index
+            else:
+                fn = vo.VEC_BRANCHZ.get(mnem)
+                if fn is None:
+                    return None
+                mode = "br1"
+                a_idx = operands[0].index
+        elif op.is_load:
+            reader = vo.LOAD_READERS.get(mnem)
+            if reader is None:
+                return None
+            mode = "load"
+            dest = operands[0].index
+        elif op.is_store:
+            writer = vo.STORE_WRITERS.get(mnem)
+            if writer is None:
+                return None
+            mode = "store"
+            src = operands[0].index
+        elif mnem == "nop":
+            mode = "nop"
+        elif mnem in vo.VEC_CONST:
+            mode = "const"
+            cfn = vo.VEC_CONST[mnem]
+            if imm_vec is None:
+                const_val = cfn(imm)
+            else:
+                const_val = np.array([cfn(int(v)) for v in imm_vec],
+                                     np.int64)
+            dest = operands[0].index
+        elif mnem in vo.VEC_UNARY:
+            mode = "unary"
+            fn = vo.VEC_UNARY[mnem]
+            dest = operands[0].index
+            a_idx = operands[1].index
+        elif mnem in vo.VEC_RR:
+            mode = "rr"
+            fn = vo.VEC_RR[mnem]
+            dest = operands[0].index
+            a_idx = operands[1].index
+            b_idx = operands[2].index
+        elif mnem in vo.VEC_RI:
+            mode = "ri"
+            fn = vo.VEC_RI[mnem]
+            dest = operands[0].index
+            a_idx = operands[1].index
+        else:
+            return None
+        backward = target is not None and mode in ("br1", "br2", "jump")
+        uses_imm = mode in ("ri", "load", "store")
+        const_is_vec = mode == "const" and imm_vec is not None
+
+        def plan(cur, g, gl, full):
+            ix = _FULL if full else g
+            uni = full and self.uniform
+            off = None
+            if uses_imm:
+                off = imm if imm_vec is None \
+                    else (imm_vec if full else imm_vec[g])
+            cd = self.cd
+            iregs = self.iregs
+            if uni:
+                self._fetch_uni(cur)
+                start = base = int(self.int_time[0])
+                if reads:
+                    int_ready = self.int_ready
+                    for r in reads:
+                        t = int(int_ready[0, r])
+                        if t > start:
+                            start = t
+                    if start > base:
+                        cd["stall_raw_int"][ix] += start - base
+            else:
+                self._fetch(cur, ix)
+                base = self.int_time[ix]
+                start = base
+                if reads:
+                    int_ready = self.int_ready
+                    for r in reads:
+                        start = np.maximum(start, int_ready[ix, r])
+                    cd["stall_raw_int"][ix] += start - base
+
+            value = None
+            if mode == "load":
+                addr = (iregs[ix, base_idx] + off) & _MASK32
+                if uni and not (addr == addr[0]).all():
+                    self._materialize()
+                    uni = False
+                    start = np.full(self.batch, start, np.int64)
+                if uni:
+                    a0 = int(addr[0])
+                    t = 0
+                    ready_map = self.uni_mem
+                    for key in range(a0 >> 2, (a0 + 7) >> 2):
+                        v = ready_map.get(key, 0)
+                        if v > t:
+                            t = v
+                    if t > start:
+                        cd["stall_mem_raw"][ix] += t - start
+                        start = t
+                    values = [0] * self.batch
+                    memories = self.memories
+                    for k in range(self.batch):
+                        try:
+                            values[k] = reader(memories[k], a0)
+                        except Exception as exc:
+                            self._fail(k, exc)
+                    value = np.array(values, np.int64)
+                    if not self.uniform:     # a lane faulted mid-loop
+                        uni = False
+                        start = np.full(self.batch, start, np.int64)
+                else:
+                    addr_list = addr.tolist()
+                    waits = [0] * len(gl)
+                    values = [0] * len(gl)
+                    mem_ready = self.mem_ready
+                    memories = self.memories
+                    for j, k in enumerate(gl):
+                        a = addr_list[j]
+                        ready_map = mem_ready[k]
+                        t = 0
+                        for key in range(a >> 2, (a + 7) >> 2):
+                            v = ready_map.get(key, 0)
+                            if v > t:
+                                t = v
+                        waits[j] = t
+                        try:
+                            values[j] = reader(memories[k], a)
+                        except Exception as exc:
+                            self._fail(k, exc)
+                    t = np.array(waits, np.int64)
+                    cd["stall_mem_raw"][ix] += np.maximum(t - start, 0)
+                    start = np.maximum(start, t)
+                    value = np.array(values, np.int64)
+
+            if hazard:
+                if uni:
+                    wb = start + lat
+                    busy = self.uni_int_wb
+                    if ports == 1:
+                        while wb in busy:
+                            wb += 1
+                    busy.add(wb)
+                    if len(busy) > _WB_TRIM_THRESHOLD:
+                        self._trim_wb(0, busy)
+                    issue = wb - lat
+                    if issue > start:
+                        cd["stall_wb_port"][ix] += issue - start
+                        start = issue
+                else:
+                    start_list = start.tolist()
+                    wb_list = [0] * len(gl)
+                    busy_sets = self.int_wb_busy
+                    for j, k in enumerate(gl):
+                        wb_at = start_list[j] + lat
+                        busy = busy_sets[k]
+                        if ports == 1:
+                            while wb_at in busy:
+                                wb_at += 1
+                        busy.add(wb_at)
+                        if len(busy) > _WB_TRIM_THRESHOLD:
+                            self._trim_wb(k, busy)
+                        wb_list[j] = wb_at
+                    wb = np.array(wb_list, np.int64)
+                    issue = wb - lat
+                    cd["stall_wb_port"][ix] += \
+                        np.maximum(issue - start, 0)
+                    start = np.maximum(start, issue)
+            else:
+                wb = start + lat
+
+            if mode == "ret":
+                self.int_time[ix] = start + 1
+                cd["int_issued"][ix] += 1
+                self.pc[ix] = _HALT_PC
+                return
+
+            taken = None
+            if mode == "rr":
+                value = fn(iregs[ix, a_idx], iregs[ix, b_idx]) & _MASK32
+            elif mode == "ri":
+                value = fn(iregs[ix, a_idx], off) & _MASK32
+            elif mode == "unary":
+                value = fn(iregs[ix, a_idx]) & _MASK32
+            elif mode == "const":
+                value = const_val if not const_is_vec or full \
+                    else const_val[g]
+            elif mode == "br2":
+                taken = fn(iregs[ix, a_idx], iregs[ix, b_idx])
+            elif mode == "br1":
+                taken = fn(iregs[ix, a_idx])
+
+            if value is not None and dest:
+                iregs[ix, dest] = value
+            if writes:
+                int_ready = self.int_ready
+                for r in writes:
+                    int_ready[ix, r] = wb
+            if mode == "store":
+                addr = (iregs[ix, base_idx] + off) & _MASK32
+                if uni and not (addr == addr[0]).all():
+                    self._materialize()
+                    uni = False
+                    start = np.full(self.batch, start, np.int64)
+                if uni:
+                    a0 = int(addr[0])
+                    value_list = iregs[ix, src].tolist()
+                    memories = self.memories
+                    ok = []
+                    for k in range(self.batch):
+                        try:
+                            writer(memories[k], a0, value_list[k])
+                        except Exception as exc:
+                            self._fail(k, exc)
+                            continue
+                        ok.append(k)
+                    done = start + lat
+                    span = range(a0 >> 2, (a0 + 7) >> 2)
+                    if self.uniform:
+                        ready_map = self.uni_mem
+                        for key in span:
+                            ready_map[key] = done
+                    else:                # a lane faulted mid-loop
+                        uni = False
+                        for k in ok:
+                            ready_map = self.mem_ready[k]
+                            for key in span:
+                                ready_map[key] = done
+                else:
+                    addr_list = addr.tolist()
+                    value_list = iregs[ix, src].tolist()
+                    start_list = start.tolist()
+                    mem_ready = self.mem_ready
+                    memories = self.memories
+                    for j, k in enumerate(gl):
+                        a = addr_list[j]
+                        try:
+                            writer(memories[k], a, value_list[j])
+                        except Exception as exc:
+                            self._fail(k, exc)
+                            continue
+                        done = start_list[j] + lat
+                        ready_map = mem_ready[k]
+                        for key in range(a >> 2, (a + 7) >> 2):
+                            ready_map[key] = done
+
+            self.int_time[ix] = start + 1
+            cd["int_issued"][ix] += 1
+            if counter is not None:
+                cd[counter][ix] += 1
+
+            if taken is not None:
+                if full and taken.all():
+                    taken_uniform = True
+                elif full and not taken.any():
+                    self.pc[ix] = cur + 1
+                    return
+                elif full:
+                    taken_uniform = None
+                    self._materialize()
+                    self.mixed = True
+                else:
+                    taken_uniform = None
+                if taken_uniform:
+                    self.int_time[ix] += penalty
+                    cd["stall_branch"][ix] += penalty
+                    if l0_on and backward and target <= cur:
+                        span = cur - target + 1
+                        if 0 < span <= entries:
+                            self.l0_lo[ix] = target
+                            self.l0_hi[ix] = cur
+                        else:
+                            self.l0_lo[ix] = -1
+                            self.l0_hi[ix] = -1
+                    self.pc[ix] = target
+                    return
+                bump = np.where(taken, penalty, 0)
+                self.int_time[ix] += bump
+                cd["stall_branch"][ix] += bump
+                if l0_on and backward and target <= cur:
+                    span = cur - target + 1
+                    lo_val, hi_val = ((target, cur)
+                                      if 0 < span <= entries
+                                      else (-1, -1))
+                    self.l0_lo[ix] = np.where(taken, lo_val,
+                                              self.l0_lo[ix])
+                    self.l0_hi[ix] = np.where(taken, hi_val,
+                                              self.l0_hi[ix])
+                self.pc[ix] = np.where(taken, target, cur + 1)
+                return
+            if mode == "jump":
+                self.int_time[ix] += penalty
+                cd["stall_branch"][ix] += penalty
+                if l0_on and target <= cur:
+                    span = cur - target + 1
+                    if 0 < span <= entries:
+                        self.l0_lo[ix] = target
+                        self.l0_hi[ix] = cur
+                    else:
+                        self.l0_lo[ix] = -1
+                        self.l0_hi[ix] = -1
+                self.pc[ix] = target
+                return
+            self.pc[ix] = cur + 1
+
+        return plan
+
+    def _plan_fp(self, op):
+        fp_kind = op.fp_op
+        mnem = op.mnemonic
+        compute = None
+        if fp_kind == F_COMPUTE:
+            compute = vo.VEC_FP_COMPUTE.get(mnem)
+            if compute is None:
+                return None
+        elif fp_kind == F_TO_INT:
+            compute = vo.VEC_FP_TO_INT.get(mnem)
+            if compute is None:
+                return None
+        elif fp_kind == F_LOAD:
+            reader = vo.FP_LOAD_READERS[op.width]
+        elif fp_kind == F_STORE:
+            writer = vo.FP_STORE_WRITERS[op.width]
+        else:
+            return None                          # F_BAD
+        gather = op.gather
+        reads = op.int_read_idx
+        lat = self.lat[op.index]
+        counter = op.counter
+        dest = op.dest_idx
+        base_idx = op.mem_base_idx
+        imm = self.imms[op.index]
+        imm_vec = imm if isinstance(imm, np.ndarray) else None
+        uses_imm = fp_kind in (F_LOAD, F_STORE)
+        depth = self.queue_depth
+        ports = self.fp_wb_ports
+        fp_resp = self.fp_response_latency
+
+        span_end = 8 + 3 if op.width == 8 else 4 + 3
+
+        def plan(cur, g, gl, full):
+            ix = _FULL if full else g
+            uni = full and self.uniform
+            off = None
+            if uses_imm:
+                off = imm if imm_vec is None \
+                    else (imm_vec if full else imm_vec[g])
+            cd = self.cd
+            # -- dispatch on the integer timeline --------------------
+            if uni:
+                self._fetch_uni(cur)
+                disp = int(self.int_time[0])
+                queue = self.uni_queue
+                while queue and queue[0] < disp:
+                    queue.popleft()
+                if len(queue) >= depth:
+                    free_at = queue.popleft() + 1
+                    if free_at > disp:
+                        cd["stall_queue_full"][ix] += free_at - disp
+                        disp = free_at
+                if reads:
+                    b0 = disp
+                    int_ready = self.int_ready
+                    for r in reads:
+                        t = int(int_ready[0, r])
+                        if t > disp:
+                            disp = t
+                    if disp > b0:
+                        cd["stall_raw_int"][ix] += disp - b0
+            else:
+                self._fetch(cur, ix)
+                disp_list = self.int_time[ix].tolist()
+                stall_queue = cd["stall_queue_full"]
+                queues = self.fpss_queue
+                for j, k in enumerate(gl):
+                    queue = queues[k]
+                    d0 = disp_list[j]
+                    while queue and queue[0] < d0:
+                        queue.popleft()
+                    if len(queue) >= depth:
+                        free_at = queue.popleft() + 1
+                        if free_at > d0:
+                            stall_queue[k] += free_at - d0
+                            disp_list[j] = free_at
+                disp = np.array(disp_list, np.int64)
+                if reads:
+                    base = disp
+                    int_ready = self.int_ready
+                    for r in reads:
+                        disp = np.maximum(disp, int_ready[ix, r])
+                    cd["stall_raw_int"][ix] += disp - base
+            self.int_time[ix] = disp + 1
+            cd["fp_dispatched"][ix] += 1
+
+            # -- FPSS issue (earliest = disp + 1, SSRs never armed) --
+            values = []
+            if uni:
+                start = int(self.fp_time[0])
+                if disp + 1 > start:
+                    start = disp + 1
+                stall = 0
+                for is_fp, idx in gather:
+                    if is_fp:
+                        t = int(self.fp_ready[0, idx])
+                        if t > start:
+                            stall += t - start
+                            start = t
+                        values.append(self.fregs[ix, idx])
+                    else:
+                        values.append(self.iregs[ix, idx])
+                if stall:
+                    cd["fp_stall_raw"][ix] += stall
+            else:
+                start = np.maximum(self.fp_time[ix], disp + 1)
+                for is_fp, idx in gather:
+                    if is_fp:
+                        t = self.fp_ready[ix, idx]
+                        cd["fp_stall_raw"][ix] += \
+                            np.maximum(t - start, 0)
+                        start = np.maximum(start, t)
+                        values.append(self.fregs[ix, idx])
+                    else:
+                        values.append(self.iregs[ix, idx])
+
+            if fp_kind == F_COMPUTE:
+                result = compute(*values)
+                if uni:
+                    wb = start + lat
+                    busy = self.uni_fp_wb
+                    if ports == 1:
+                        while wb in busy:
+                            wb += 1
+                    busy.add(wb)
+                    if len(busy) > _WB_TRIM_THRESHOLD:
+                        self._trim_wb(0, busy)
+                    issue = wb - lat
+                    if issue > start:
+                        cd["fp_stall_wb_port"][ix] += issue - start
+                        start = issue
+                else:
+                    start_list = start.tolist()
+                    wb_list = [0] * len(gl)
+                    busy_sets = self.fp_wb_busy
+                    for j, k in enumerate(gl):
+                        wb_at = start_list[j] + lat
+                        busy = busy_sets[k]
+                        if ports == 1:
+                            while wb_at in busy:
+                                wb_at += 1
+                        busy.add(wb_at)
+                        if len(busy) > _WB_TRIM_THRESHOLD:
+                            self._trim_wb(k, busy)
+                        wb_list[j] = wb_at
+                    wb = np.array(wb_list, np.int64)
+                    issue = wb - lat
+                    cd["fp_stall_wb_port"][ix] += \
+                        np.maximum(issue - start, 0)
+                    start = np.maximum(start, issue)
+                self.fregs[ix, dest] = result
+                self.fp_ready[ix, dest] = wb
+            elif fp_kind == F_LOAD:
+                addr = (self.iregs[ix, base_idx] + off) & _MASK32
+                if uni and not (addr == addr[0]).all():
+                    self._materialize()
+                    uni = False
+                    start = np.full(self.batch, start, np.int64)
+                if uni:
+                    a0 = int(addr[0])
+                    ready_map = self.uni_mem
+                    for key in range(a0 >> 2, (a0 + 11) >> 2):
+                        v = ready_map.get(key, 0)
+                        if v > start:
+                            start = v
+                    wb = start + lat
+                    busy = self.uni_fp_wb
+                    if ports == 1:
+                        while wb in busy:
+                            wb += 1
+                    busy.add(wb)
+                    if len(busy) > _WB_TRIM_THRESHOLD:
+                        self._trim_wb(0, busy)
+                    issue = wb - lat
+                    if issue > start:
+                        cd["fp_stall_wb_port"][ix] += issue - start
+                        start = issue
+                    values_out = [0.0] * self.batch
+                    memories = self.memories
+                    for k in range(self.batch):
+                        try:
+                            values_out[k] = reader(memories[k], a0)
+                        except Exception as exc:
+                            self._fail(k, exc)
+                    self.fregs[ix, dest] = \
+                        np.array(values_out, np.float64)
+                    self.fp_ready[ix, dest] = wb
+                    if not self.uniform:     # a lane faulted mid-loop
+                        uni = False
+                        start = np.full(self.batch, start, np.int64)
+                else:
+                    addr_list = addr.tolist()
+                    start_list = start.tolist()
+                    wb_list = [0] * len(gl)
+                    values_out = [0.0] * len(gl)
+                    stall_wb = cd["fp_stall_wb_port"]
+                    mem_ready = self.mem_ready
+                    busy_sets = self.fp_wb_busy
+                    memories = self.memories
+                    for j, k in enumerate(gl):
+                        a = addr_list[j]
+                        s = start_list[j]
+                        ready_map = mem_ready[k]
+                        for key in range(a >> 2, (a + 11) >> 2):
+                            v = ready_map.get(key, 0)
+                            if v > s:
+                                s = v
+                        busy = busy_sets[k]
+                        wb_at = s + lat
+                        if ports == 1:
+                            while wb_at in busy:
+                                wb_at += 1
+                        busy.add(wb_at)
+                        if len(busy) > _WB_TRIM_THRESHOLD:
+                            self._trim_wb(k, busy)
+                        issue = wb_at - lat
+                        if issue > s:
+                            stall_wb[k] += issue - s
+                            s = issue
+                        try:
+                            values_out[j] = reader(memories[k], a)
+                        except Exception as exc:
+                            self._fail(k, exc)
+                        wb_list[j] = wb_at
+                        start_list[j] = s
+                    start = np.array(start_list, np.int64)
+                    wb = np.array(wb_list, np.int64)
+                    self.fregs[ix, dest] = \
+                        np.array(values_out, np.float64)
+                    self.fp_ready[ix, dest] = wb
+            elif fp_kind == F_STORE:
+                addr = (self.iregs[ix, base_idx] + off) & _MASK32
+                if uni and not (addr == addr[0]).all():
+                    self._materialize()
+                    uni = False
+                    start = np.full(self.batch, start, np.int64)
+                if uni:
+                    a0 = int(addr[0])
+                    value_list = values[0].tolist()
+                    memories = self.memories
+                    ok = []
+                    for k in range(self.batch):
+                        try:
+                            writer(memories[k], a0, value_list[k])
+                        except Exception as exc:
+                            self._fail(k, exc)
+                            continue
+                        ok.append(k)
+                    done = start + lat
+                    span = range(a0 >> 2, (a0 + span_end) >> 2)
+                    if self.uniform:
+                        ready_map = self.uni_mem
+                        for key in span:
+                            ready_map[key] = done
+                    else:                # a lane faulted mid-loop
+                        uni = False
+                        for k in ok:
+                            ready_map = self.mem_ready[k]
+                            for key in span:
+                                ready_map[key] = done
+                else:
+                    addr_list = addr.tolist()
+                    value_list = values[0].tolist()
+                    start_list = start.tolist()
+                    mem_ready = self.mem_ready
+                    memories = self.memories
+                    for j, k in enumerate(gl):
+                        a = addr_list[j]
+                        try:
+                            writer(memories[k], a, value_list[j])
+                        except Exception as exc:
+                            self._fail(k, exc)
+                            continue
+                        done = start_list[j] + lat
+                        ready_map = mem_ready[k]
+                        for key in range(a >> 2, (a + span_end) >> 2):
+                            ready_map[key] = done
+            else:                                # F_TO_INT
+                result = compute(*values)
+                if dest:
+                    self.iregs[ix, dest] = result & _MASK32
+                self.int_ready[ix, dest] = start + lat + fp_resp
+
+            self.fp_time[ix] = start + 1
+            cd["fp_issued"][ix] += 1
+            if counter is not None:
+                cd[counter][ix] += 1
+            if uni:
+                self.uni_queue.append(start)
+            else:
+                queues = self.fpss_queue
+                if isinstance(start, int):
+                    for k in gl:
+                        queues[k].append(start)
+                else:
+                    start_list = start.tolist()
+                    for j, k in enumerate(gl):
+                        queues[k].append(start_list[j])
+            self.pc[ix] = cur + 1
+
+        return plan
+
+    def _plan_meta(self, op):
+        label = op.instr.label or ""
+        if label.endswith("_start"):
+            name = label[:-len("_start")]
+            opening = True
+        elif label.endswith("_end"):
+            name = label[:-len("_end")]
+            opening = False
+        else:
+            return None           # scalar raises the bad-label error
+        err = f"mark {label}: region never opened"
+
+        def plan(cur, g, gl, full):
+            ix = _FULL if full else g
+            for k in gl:
+                now = max(int(self.int_time[k]), int(self.fp_time[k]))
+                if opening:
+                    self.region_open[k][name] = \
+                        (now, self._counters_of(k))
+                    continue
+                opened = self.region_open[k]
+                if name not in opened:
+                    self._fail(k, SimulationError(err))
+                    continue
+                start_time, start_counters = opened.pop(name)
+                cycles = now - start_time
+                delta = self._counters_of(k).delta(start_counters)
+                regions = self.regions[k]
+                if name in regions:
+                    prev = regions[name]
+                    merged = Counters(**{
+                        f: getattr(prev.counters, f) + getattr(delta, f)
+                        for f in vars(delta)
+                    })
+                    regions[name] = RegionMeasurement(
+                        name, prev.cycles + cycles, merged)
+                else:
+                    regions[name] = RegionMeasurement(
+                        name, cycles, delta)
+            self.pc[ix] = cur + 1
+
+        return plan

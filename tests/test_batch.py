@@ -1,0 +1,259 @@
+"""Batch-engine equivalence tests: vector lockstep == scalar, always.
+
+The contract of :mod:`repro.sim.batch` is *byte-for-byte* identity:
+for any mix of kernels, variants, seeds and problem sizes, a lane's
+``RunResult``/``RunRecord`` must match what the scalar ``Machine``
+produces for the same instance — cycles, counters, regions, memory
+writes and serialized payload bytes.  These tests lock that contract
+across the interesting regimes: homogeneous fleets, cross-seed and
+cross-size cohorts (per-lane immediates), data-divergent control
+flow, the scalar-fallback demotion path (FREP/SSR kernels), per-lane
+errors, and every ``jobs``/``batch`` sharding combination of
+:class:`repro.api.Sweep`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CoreBackend, Sweep, Workload
+from repro.api.batchrun import (
+    plan_batch,
+    resolve_batch,
+    run_batch_cells,
+)
+from repro.kernels.common import KernelInstance
+from repro.kernels.registry import KERNELS
+from repro.isa import ProgramBuilder
+from repro.sim import Memory
+from repro.sim.batch import BatchEngine, program_signature
+
+N = 256
+SEEDS = (None, 3, 17)
+
+
+def payload(record) -> str:
+    """The byte-level identity the acceptance criteria talk about."""
+    return json.dumps(record.to_json(), sort_keys=True)
+
+
+def scalar_records(workloads, check: bool = False):
+    return Sweep(workloads).run(check=check)
+
+
+def batch_records(workloads, batch, jobs: int = 1,
+                  check: bool = False):
+    return Sweep(workloads, batch=batch).run(jobs=jobs, check=check)
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+@pytest.mark.parametrize("variant", ("baseline", "copift"))
+def test_batch_matches_scalar(kernel, variant):
+    """Six kernels x both variants x three seeds: identical records.
+
+    The copift variants exercise the demotion path (FREP/SSR micro-ops
+    have no vector plan); the baselines run vectorized end to end.
+    Seeds only change ``li`` immediates and memory images, so all
+    lanes share one cohort — the per-lane-immediate regime.
+    """
+    workloads = [Workload(kernel, variant, n=N, seed=seed)
+                 for seed in SEEDS]
+    scalar = scalar_records(workloads)
+    batched = batch_records(workloads, batch=len(workloads))
+    for s, b in zip(scalar, batched):
+        assert payload(b) == payload(s)
+
+
+def test_cross_seed_lanes_share_one_cohort():
+    """Seeds bake into ``li`` immediates; the structural signature
+    excludes immediate values, so a seed sweep forms a single cohort
+    (no per-seed fragmentation, which would defeat vectorization)."""
+    instances = [Workload("pi_lcg", n=128, seed=s).build()
+                 for s in (1, 2, 3, 4)]
+    signatures = {program_signature(i.program) for i in instances}
+    assert len(signatures) == 1
+    engine = BatchEngine(instances)
+    assert len(engine._cohorts) == 1
+    assert engine._cohorts[0].batch == 4
+
+
+def test_cross_size_lanes_share_one_cohort_and_match():
+    """Different problem sizes diverge at loop trip counts: lanes
+    retire at different times, exercising the masked/grouped stepping
+    path, and must still match scalar exactly."""
+    workloads = [Workload("poly_xoshiro128p", n=n)
+                 for n in (64, 128, 192, 256)]
+    instances = [w.build() for w in workloads]
+    assert len({program_signature(i.program) for i in instances}) == 1
+    scalar = scalar_records(workloads)
+    batched = batch_records(workloads, batch=4)
+    for s, b in zip(scalar, batched):
+        assert payload(b) == payload(s)
+
+
+def test_data_divergent_branches_match_scalar():
+    """pi kernels branch on PRNG-dependent accept/reject tests, so
+    different seeds diverge *within* the vector fleet (same program,
+    different taken/not-taken per lane)."""
+    workloads = [Workload("pi_xoshiro128p", n=N, seed=s)
+                 for s in (5, 6, 7, 8, 9)]
+    scalar = scalar_records(workloads)
+    batched = batch_records(workloads, batch=5)
+    for s, b in zip(scalar, batched):
+        assert payload(b) == payload(s)
+
+
+def test_copift_lanes_demote_to_scalar_engine():
+    """FREP/SSR micro-ops have no vector plan: the engine must hand
+    those lanes to the golden scalar Scheduler transparently."""
+    instances = [Workload("logf", "copift", n=N, seed=s).build()
+                 for s in (1, 2)]
+    engine = BatchEngine(instances).run()
+    assert engine.demoted == [True, True]
+    for lane, seed in enumerate((1, 2)):
+        ref, _ = Workload("logf", "copift", n=N,
+                          seed=seed).build().run(check=False)
+        assert engine.results[lane].cycles == ref.cycles
+        assert vars(engine.results[lane].counters) \
+            == vars(ref.counters)
+
+
+def test_baseline_lanes_stay_vectorized():
+    instances = [Workload("expf", n=N).build(),
+                 Workload("expf", n=N, seed=99).build()]
+    engine = BatchEngine(instances).run()
+    assert engine.demoted == [False, False]
+    assert all(e is None for e in engine.errors)
+
+
+def test_verify_sees_batch_memory_and_machine():
+    """check=True runs each kernel's own verifier against the lane's
+    memory image and flushed machine state."""
+    workloads = [Workload(k, v, n=128)
+                 for k in ("logf", "pi_lcg")
+                 for v in ("baseline", "copift")]
+    scalar = scalar_records(workloads, check=True)
+    batched = batch_records(workloads, batch=4, check=True)
+    for s, b in zip(scalar, batched):
+        assert payload(b) == payload(s)
+
+
+def _mini_instance(addr: int) -> KernelInstance:
+    """A tiny hand-built lane: load a word from *addr*, add, store.
+
+    Lanes built with different *addr* values share a signature (only
+    the ``li`` immediate differs) — a misaligned one faults mid-run
+    while its siblings keep stepping.
+    """
+    memory = Memory()
+    memory.write_u32(0x200, 41)
+    b = ProgramBuilder()
+    b.li("a0", addr)
+    b.lw("a1", 0, "a0")
+    b.addi("a1", "a1", 1)
+    b.li("a2", 0x300)
+    b.sw("a1", 0, "a2")
+    program = b.build()
+    return KernelInstance(
+        name="mini", variant="baseline", program=program,
+        memory=memory, n=1, block=None, dma_active=False,
+        dma_bytes=0, verify=lambda memory_, machine: None,
+    )
+
+
+def test_error_in_one_lane_does_not_poison_siblings():
+    """A mid-run fault (misaligned load) in one lane must surface as
+    that lane's error — siblings finish with scalar-identical state."""
+    good = _mini_instance(0x200)
+    bad = _mini_instance(0x201)     # misaligned lw
+    good2 = _mini_instance(0x200)
+    engine = BatchEngine([good, bad, good2]).run()
+
+    assert engine.errors[1] is not None
+    assert engine.results[1] is None
+    assert engine.errors[0] is None and engine.errors[2] is None
+
+    ref_result, ref_machine = _mini_instance(0x200).run(check=False)
+    for lane, instance in ((0, good), (2, good2)):
+        assert engine.results[lane].cycles == ref_result.cycles
+        assert instance.memory.read_u32(0x300) == 42
+        machine = engine.machine(lane)
+        assert machine.iregs[:] == ref_machine.iregs[:]
+    with pytest.raises(type(engine.errors[1])):
+        _mini_instance(0x201).run(check=False)
+
+
+def test_sweep_jobs_batch_grid_identical():
+    """The acceptance matrix: payloads identical for every jobs/batch
+    combination, including batch groups as the per-task unit."""
+    workloads = [Workload(k, v, n=192)
+                 for k in ("pi_lcg", "expf", "logf")
+                 for v in ("baseline", "copift")]
+    reference = [payload(r) for r in scalar_records(workloads)]
+    for jobs, batch in ((1, 2), (1, "auto"), (2, 3), (3, 2)):
+        got = [payload(r) for r in
+               batch_records(workloads, batch=batch, jobs=jobs)]
+        assert got == reference, (jobs, batch)
+
+
+def test_sweep_batch_composes_with_store_cache(tmp_path):
+    """Cache keys are engine-agnostic: a batch run warms the store
+    with records a scalar run then returns verbatim (and vice versa)."""
+    from repro.serve import RunStore
+
+    workloads = [Workload("pi_lcg", n=128, seed=s) for s in (1, 2)]
+    store = RunStore(tmp_path / "cache")
+    batched = Sweep(workloads, batch=2).run(cache=store)
+    assert store.stats.stores == 2
+    scalar = Sweep(workloads).run(cache=store)
+    assert store.stats.hits == 2
+    for s, b in zip(scalar, batched):
+        assert payload(b) == payload(s)
+
+
+def test_plan_batch_groups_and_leftovers():
+    backend = CoreBackend()
+    other = CoreBackend()
+    pending = [(i, Workload("expf", n=64, seed=i), backend, False)
+               for i in range(5)]
+    pending.append((5, Workload("expf", n=64), other, False))
+    tasks, scalar = plan_batch(pending, lanes=2)
+    # 5 cells on one backend -> 2+2 batch groups + 1 leftover; the
+    # lone cell of the second backend stays scalar.
+    assert [len(items) for _, items in tasks] == [2, 2]
+    assert [cell[0] for cell in scalar] == [4, 5]
+
+
+def test_run_batch_cells_matches_backend_run():
+    backend = CoreBackend()
+    workloads = [Workload("poly_lcg", n=128, seed=s) for s in (1, 2)]
+    items = [(i, w, True) for i, w in enumerate(workloads)]
+    got = run_batch_cells(backend, items)
+    for (index, record), w in zip(got, workloads):
+        assert payload(record) == payload(backend.run(w, check=True))
+
+
+def test_resolve_batch_values():
+    assert resolve_batch(None) is None
+    assert resolve_batch("auto") >= 2
+    assert resolve_batch(7) == 7
+    for bad in (0, -1, True, 1.5, "many"):
+        with pytest.raises(ValueError):
+            resolve_batch(bad)
+
+
+def test_sweep_validates_batch_eagerly():
+    with pytest.raises(ValueError, match="batch"):
+        Sweep([Workload("expf", n=64)], batch=0)
+
+
+def test_numpy_gate_is_actionable(monkeypatch):
+    import repro.sim.batch as batch_mod
+
+    monkeypatch.setattr(batch_mod, "np", None)
+    with pytest.raises(RuntimeError, match="numpy"):
+        batch_mod.require_numpy()
+    with pytest.raises(RuntimeError, match="--batch"):
+        BatchEngine([Workload("expf", n=64).build()])

@@ -37,9 +37,15 @@ def test_every_example_has_a_test():
     tested = {"quickstart.py", "softmax_llm.py", "montecarlo_pi.py",
               "custom_kernel_copift.py", "pipeline_timeline.py",
               "sweep_backends.py", "soc_sweep.py", "trace_kernel.py",
-              "serve_client.py", "stream_qos.py"}
+              "serve_client.py", "stream_qos.py", "batch_sweep.py"}
     on_disk = {p.name for p in EXAMPLES.glob("*.py")}
     assert on_disk == tested
+
+
+def test_batch_sweep():
+    out = run_example("batch_sweep.py")
+    assert "byte-identical to scalar engine: True" in out
+    assert "16 seeds" in out
 
 
 def test_soc_sweep():
